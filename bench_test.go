@@ -1,0 +1,298 @@
+package scream
+
+// The benchmark harness: one testing.B benchmark per figure of the paper's
+// evaluation (there are no numbered tables; the evaluation is Figures 4-9)
+// plus one per ablation from DESIGN.md. Each benchmark regenerates its
+// figure's series in Quick mode and reports the headline numbers as custom
+// metrics, so `go test -bench=.` both exercises the full pipeline and
+// reproduces the paper's qualitative results. Use cmd/figgen for the
+// full-size sweeps.
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchOpts = ExperimentOptions{Quick: true, Seeds: 2}
+
+// metricName turns a series name into a ReportMetric-safe unit string
+// (no whitespace allowed).
+func metricName(name, suffix string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '(', ')', '=', '%', '/':
+			return '_'
+		}
+		return r
+	}, name)
+	return clean + "_" + suffix
+}
+
+func reportSeries(b *testing.B, fig *Figure) {
+	b.Helper()
+	for _, s := range fig.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		b.ReportMetric(first.Y, metricName(s.Name, "first"))
+		b.ReportMetric(last.Y, metricName(s.Name, "last"))
+	}
+}
+
+// BenchmarkFig4MoteDetectionError regenerates Figure 4: % error in SCREAM
+// detection vs SCREAM size on the Mica2 mote experiment.
+func BenchmarkFig4MoteDetectionError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := Fig4(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig5RSSIMovingAverage regenerates Figure 5: the monitor's RSSI
+// moving-average trace for 24-byte screams.
+func BenchmarkFig5RSSIMovingAverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := Fig5(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			ma := fig.Lookup("RSSI MA")
+			above := 0
+			for _, p := range ma.Points {
+				if p.Y > -60 {
+					above++
+				}
+			}
+			b.ReportMetric(float64(len(ma.Points)), "trace_points")
+			b.ReportMetric(float64(above), "points_above_threshold")
+		}
+	}
+}
+
+// BenchmarkFig6GridImprovement regenerates Figure 6: schedule-length
+// improvement over linear vs density on the planned grid (Centralized, FDD,
+// PDD p in {0.2, 0.6, 0.8}).
+func BenchmarkFig6GridImprovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := Fig6(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig7UniformImprovement regenerates Figure 7: the unplanned
+// uniform deployment with heterogeneous power (Centralized, FDD, PDD 0.8).
+func BenchmarkFig7UniformImprovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := Fig7(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig8ExecutionTime regenerates Figure 8: protocol execution time
+// vs SCREAM size and vs interference-diameter bound K (FDD and PDD).
+func BenchmarkFig8ExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := Fig8(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig9ClockSkew regenerates Figure 9: execution time vs clock-skew
+// bound (FDD, PDD p=0.2).
+func BenchmarkFig9ClockSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := Fig9(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkAblationPDDProbability sweeps PDD's activation probability.
+func BenchmarkAblationPDDProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := AblationPDDProbability(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkAblationGreedyOrdering compares GreedyPhysical edge orderings.
+func BenchmarkAblationGreedyOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := AblationGreedyOrdering(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkAblationScreamK quantifies over-provisioning K beyond ID(G_S).
+func BenchmarkAblationScreamK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := AblationScreamK(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkAblationAckModel compares the full (data+ACK) model against the
+// classic data-only physical model.
+func BenchmarkAblationAckModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := AblationAckModel(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkAblationFDDSeal measures the ASAP slot-sealing extension.
+func BenchmarkAblationFDDSeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := AblationFDDSeal(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// Micro-benchmarks for the primitives themselves.
+
+func BenchmarkGreedyPhysical64(b *testing.B) {
+	m, err := NewGridMesh(GridMeshConfig{Rows: 8, Cols: 8, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.GreedySchedule(ByHeadIDDesc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFDDRun64(b *testing.B) {
+	m, err := NewGridMesh(GridMeshConfig{Rows: 8, Cols: 8, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.RunFDD(ProtocolOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPDDRun64(b *testing.B) {
+	m, err := NewGridMesh(GridMeshConfig{Rows: 8, Cols: 8, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.RunPDD(0.2, ProtocolOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScreamPrimitive(b *testing.B) {
+	m, err := NewGridMesh(GridMeshConfig{Rows: 8, Cols: 8, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vars := make([]bool, m.NumNodes())
+	vars[0] = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Scream(vars, ProtocolOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBalancedRouting compares routing-forest tie-breaking
+// strategies (extension; see DESIGN.md).
+func BenchmarkAblationBalancedRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := AblationBalancedRouting(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkAblationMoteRelays sweeps relay count in the mote experiment —
+// SCREAM's collision-resilience claim as a benchmark.
+func BenchmarkAblationMoteRelays(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := AblationMoteRelays(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}
+
+// BenchmarkAblationShadowing measures scheduling quality under log-normal
+// shadowing (the paper's propagation model family).
+func BenchmarkAblationShadowing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := AblationShadowing(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, fig)
+		}
+	}
+}

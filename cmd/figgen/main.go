@@ -1,0 +1,89 @@
+// Command figgen regenerates the data series behind every figure of the
+// SCREAM paper's evaluation (Figures 4-9) and the design ablations.
+//
+// Usage:
+//
+//	figgen [-fig all|4|5|6|7|8|9|ablations] [-quick] [-seeds n] [-ascii]
+//
+// Output is one TSV table per figure on stdout (optionally followed by an
+// ASCII rendering of the curves).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scream"
+)
+
+type runner struct {
+	name string
+	run  func(scream.ExperimentOptions) (*scream.Figure, error)
+}
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, 8, 9, or ablations")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seeds = flag.Int("seeds", 0, "independent runs per point (0 = default)")
+		ascii = flag.Bool("ascii", true, "also render ASCII charts")
+	)
+	flag.Parse()
+	if err := run(*fig, *quick, *seeds, *ascii); err != nil {
+		fmt.Fprintln(os.Stderr, "figgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, quick bool, seeds int, ascii bool) error {
+	opts := scream.ExperimentOptions{Quick: quick, Seeds: seeds}
+	figures := map[string][]runner{
+		"4": {{"Fig4", scream.Fig4}},
+		"5": {{"Fig5", scream.Fig5}},
+		"6": {{"Fig6", scream.Fig6}},
+		"7": {{"Fig7", scream.Fig7}},
+		"8": {{"Fig8", scream.Fig8}},
+		"9": {{"Fig9", scream.Fig9}},
+		"ablations": {
+			{"AblationPDDProbability", scream.AblationPDDProbability},
+			{"AblationGreedyOrdering", scream.AblationGreedyOrdering},
+			{"AblationScreamK", scream.AblationScreamK},
+			{"AblationAckModel", scream.AblationAckModel},
+			{"AblationFDDSeal", scream.AblationFDDSeal},
+			{"AblationBalancedRouting", scream.AblationBalancedRouting},
+			{"AblationMoteRelays", scream.AblationMoteRelays},
+			{"AblationShadowing", scream.AblationShadowing},
+		},
+	}
+	var selected []runner
+	if which == "all" {
+		for _, key := range []string{"4", "5", "6", "7", "8", "9", "ablations"} {
+			selected = append(selected, figures[key]...)
+		}
+	} else if rs, ok := figures[which]; ok {
+		selected = rs
+	} else {
+		return fmt.Errorf("unknown -fig %q", which)
+	}
+
+	for _, r := range selected {
+		start := time.Now()
+		f, err := r.run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Printf("## %s (generated in %v)\n", r.name, time.Since(start).Round(time.Millisecond))
+		if err := f.WriteTSV(os.Stdout); err != nil {
+			return err
+		}
+		if ascii {
+			if err := f.RenderASCII(os.Stdout, 72, 16); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run("5", true, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithASCII(t *testing.T) {
+	if err := run("6", true, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("42", true, 1, false); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}

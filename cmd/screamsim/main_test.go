@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunGridAllProtocols(t *testing.T) {
+	if err := run("grid", 4, 4, 30, 0, 0, 0, 0, 0, "greedy,fdd,pdd", 0.3, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUniform(t *testing.T) {
+	if err := run("uniform", 0, 0, 0, 25, 180, 14, 20, 0, "greedy", 0.2, 2, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPacketLevel(t *testing.T) {
+	if err := run("grid", 4, 4, 30, 0, 0, 0, 0, 0, "fdd", 0.2, 3, true, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("mobius", 4, 4, 30, 0, 0, 0, 0, 0, "greedy", 0.2, 1, false, 0); err == nil {
+		t.Error("unknown topology should fail")
+	}
+	if err := run("grid", 4, 4, 30, 0, 0, 0, 0, 0, "quantum", 0.2, 1, false, 0); err == nil {
+		t.Error("unknown protocol should fail")
+	}
+	if err := run("grid", 0, 0, 0, 0, 0, 0, 0, 0, "greedy", 0.2, 1, false, 0); err == nil {
+		t.Error("invalid grid should fail")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunGrid(t *testing.T) {
+	if err := run("grid", 4, 4, 30, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUniform(t *testing.T) {
+	if err := run("uniform", 0, 0, 0, 25, 180, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("torus", 4, 4, 30, 0, 0, 1); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}

@@ -1,0 +1,74 @@
+// Meshbackbone reproduces the paper's headline scenario (Section VI-A): a
+// 64-node planned wireless backbone with 4 Internet gateways and per-node
+// client demand, scheduled three ways — serialized (what CSMA-style MACs
+// degenerate to under load), the centralized GreedyPhysical, and the
+// distributed FDD/PDD protocols — and compares schedule lengths and protocol
+// execution times.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scream"
+)
+
+func main() {
+	// 64 routers, 35 m apart (a city-block deployment), demands U[1,10].
+	mesh, err := scream.NewGridMesh(scream.GridMeshConfig{
+		Rows: 8, Cols: 8, StepMeters: 35, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SCREAM mesh backbone scheduling demo")
+	fmt.Println("=====================================")
+	fmt.Printf("backbone:  %d nodes, gateways %v\n", mesh.NumNodes(), mesh.Gateways())
+	fmt.Printf("traffic:   %d links, aggregated demand TD = %d slots serialized\n",
+		len(mesh.Links), mesh.TotalDemand())
+	fmt.Printf("radio:     interference diameter %d, neighbor density %.1f\n\n",
+		mesh.InterferenceDiameter(), mesh.NeighborDensity())
+
+	fmt.Printf("%-28s %8s %14s %12s\n", "scheduler", "slots", "improvement", "exec time")
+	fmt.Printf("%-28s %8d %13.1f%% %12s\n", "serialized (linear)", mesh.TotalDemand(), 0.0, "-")
+
+	greedy, err := mesh.GreedySchedule(scream.ByHeadIDDesc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mesh.Verify(greedy); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %8d %13.1f%% %12s\n", "GreedyPhysical (central)",
+		greedy.Length(), mesh.Improvement(greedy), "-")
+
+	fdd, err := mesh.RunFDD(scream.ProtocolOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mesh.Verify(fdd.Schedule); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %8d %13.1f%% %11.3fs\n", "FDD (distributed)",
+		fdd.Schedule.Length(), mesh.Improvement(fdd.Schedule), fdd.ExecTime.Seconds())
+
+	for _, p := range []float64{0.2, 0.6, 0.8} {
+		pdd, err := mesh.RunPDD(p, scream.ProtocolOptions{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mesh.Verify(pdd.Schedule); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %8d %13.1f%% %11.3fs\n", fmt.Sprintf("PDD p=%.1f (distributed)", p),
+			pdd.Schedule.Length(), mesh.Improvement(pdd.Schedule), pdd.ExecTime.Seconds())
+	}
+
+	fmt.Println()
+	if fdd.Schedule.Equal(greedy) {
+		fmt.Println("FDD reproduced the centralized schedule exactly (Theorem 4), with no")
+		fmt.Println("central coordinator: every decision was made through SCREAMs, leader")
+		fmt.Printf("elections (%d) and two-way handshakes (%d steps).\n", fdd.Elections, fdd.Steps)
+	}
+}

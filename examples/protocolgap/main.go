@@ -1,0 +1,65 @@
+// Protocolgap examines the paper's motivating contrast (Section I) between
+// the protocol interference model — the pairwise exclusion-region
+// abstraction CSMA/CA-style MACs enforce — and the physical (SINR) model the
+// paper schedules with. The same backbone workload is scheduled under both
+// models across radio powers, showing the two failure modes of the protocol
+// abstraction:
+//
+//   - it IGNORES AGGREGATION: at moderate power its schedules are shorter on
+//     paper but a large fraction of their slots violate SINR — they would
+//     simply lose packets on air;
+//   - it OVER-EXCLUDES pairwise: at high power (wide carrier-sense range) it
+//     serializes transmissions the SINR model proves compatible.
+//
+// Either way, correct-and-efficient scheduling needs the physical model —
+// and Theorem 1 says that, in turn, needs a global primitive like SCREAM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scream"
+)
+
+func main() {
+	fmt.Println("Physical vs protocol interference model")
+	fmt.Println("========================================")
+	fmt.Println("(same 8x8 backbone and demands; TD = serialized length)")
+	fmt.Println()
+	fmt.Printf("%-9s %8s | %9s %16s | %9s %10s\n",
+		"TX power", "TD", "protocol", "SINR-violating", "physical", "verified")
+
+	for _, power := range []float64{14, 17, 20, 23} {
+		mesh, err := scream.NewGridMesh(scream.GridMeshConfig{
+			Rows: 8, Cols: 8, StepMeters: 30, TxPowerDBm: power, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		proto, err := mesh.GreedyProtocolSchedule(scream.ByHeadIDDesc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bad := mesh.CountInfeasibleSlots(proto)
+		physical, err := mesh.GreedySchedule(scream.ByHeadIDDesc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verified := "yes"
+		if err := mesh.Verify(physical); err != nil {
+			verified = "NO"
+		}
+		fmt.Printf("%6.0fdBm %8d | %6d sl %9d (%3.0f%%) | %6d sl %10s\n",
+			power, mesh.TotalDemand(),
+			proto.Length(), bad, 100*float64(bad)/float64(proto.Length()),
+			physical.Length(), verified)
+	}
+
+	fmt.Println()
+	fmt.Println("At 14-20 dBm the protocol model packs tighter slots than SINR allows —")
+	fmt.Println("those slots would fail on air. At 23 dBm its carrier-sense exclusion is")
+	fmt.Println("so wide it falls back to full serialization (TD slots) while the physical")
+	fmt.Println("model still finds verified spatial reuse. The physical schedules are the")
+	fmt.Println("only ones that are simultaneously correct and shorter than serialized.")
+}

@@ -1,0 +1,73 @@
+package scream
+
+import "scream/internal/exp"
+
+// The figure runners regenerate the data behind every figure of the paper's
+// evaluation section. Each returns a Figure holding the same series the
+// paper plots, with 95% confidence intervals where applicable.
+
+// Fig4 regenerates "Percentage Error in SCREAM detection vs SCREAM size".
+func Fig4(opts ExperimentOptions) (*Figure, error) { return exp.Fig4(opts) }
+
+// Fig5 regenerates "Moving Average of RSSI values".
+func Fig5(opts ExperimentOptions) (*Figure, error) { return exp.Fig5(opts) }
+
+// Fig6 regenerates "Schedule Length Improvement for Grid".
+func Fig6(opts ExperimentOptions) (*Figure, error) { return exp.Fig6(opts) }
+
+// Fig7 regenerates "Schedule Length Improvement for Uniform Random
+// Placement".
+func Fig7(opts ExperimentOptions) (*Figure, error) { return exp.Fig7(opts) }
+
+// Fig8 regenerates "Execution Time vs. SCREAM size and Interference
+// Diameter".
+func Fig8(opts ExperimentOptions) (*Figure, error) { return exp.Fig8(opts) }
+
+// Fig9 regenerates "Execution Time vs. Clock Skew".
+func Fig9(opts ExperimentOptions) (*Figure, error) { return exp.Fig9(opts) }
+
+// Ablations for the design choices called out in DESIGN.md.
+
+// AblationPDDProbability sweeps PDD's activation probability p.
+func AblationPDDProbability(opts ExperimentOptions) (*Figure, error) {
+	return exp.AblationPDDProbability(opts)
+}
+
+// AblationGreedyOrdering compares GreedyPhysical edge orderings.
+func AblationGreedyOrdering(opts ExperimentOptions) (*Figure, error) {
+	return exp.AblationGreedyOrdering(opts)
+}
+
+// AblationScreamK quantifies over-provisioning K beyond ID(G_S).
+func AblationScreamK(opts ExperimentOptions) (*Figure, error) {
+	return exp.AblationScreamK(opts)
+}
+
+// AblationAckModel compares the full interference model against the
+// data-only (no ACK sub-slot) physical model.
+func AblationAckModel(opts ExperimentOptions) (*Figure, error) {
+	return exp.AblationAckModel(opts)
+}
+
+// AblationFDDSeal measures the ASAP slot-sealing extension.
+func AblationFDDSeal(opts ExperimentOptions) (*Figure, error) {
+	return exp.AblationFDDSeal(opts)
+}
+
+// AblationBalancedRouting compares random vs load-balanced forest
+// tie-breaking.
+func AblationBalancedRouting(opts ExperimentOptions) (*Figure, error) {
+	return exp.AblationBalancedRouting(opts)
+}
+
+// AblationMoteRelays sweeps the mote experiment's relay count, checking
+// SCREAM's collision resilience.
+func AblationMoteRelays(opts ExperimentOptions) (*Figure, error) {
+	return exp.AblationMoteRelays(opts)
+}
+
+// AblationShadowing re-runs the scheduling pipeline under log-normal
+// shadowing of increasing sigma.
+func AblationShadowing(opts ExperimentOptions) (*Figure, error) {
+	return exp.AblationShadowing(opts)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"scream/internal/des"
+	"scream/internal/graph"
+	"scream/internal/phys"
+)
+
+// Backend executes the protocols' physical-layer primitives and accounts for
+// the time they consume. Two implementations exist: the IdealBackend below
+// (direct SINR evaluation, used for schedule-quality experiments, where the
+// paper assumes SCREAM detection is reliable at adequate SMBytes), and the
+// packet-level radio backend in internal/radio (skewed transmission windows
+// and energy detection, used for validation).
+type Backend interface {
+	// NumNodes returns the number of nodes in the network.
+	NumNodes() int
+	// Scream runs one full SCREAM primitive (K slots): every node i with
+	// vars[i] == true screams in the first slot; listeners that detect
+	// activity relay in subsequent slots. It returns each node's final
+	// relay value — the network-wide OR when K >= ID(G_S).
+	Scream(vars []bool) []bool
+	// HandshakeSlot runs one data + ACK handshake slot for all the given
+	// links concurrently and reports per-link two-way success.
+	HandshakeSlot(links []phys.Link) []bool
+	// Elapsed returns the total simulated time consumed so far.
+	Elapsed() des.Time
+}
+
+// RunScreamSlots is the SCREAM relay loop shared by backends: k slots; in
+// each slot every relaying node screams and every detecting listener starts
+// relaying. slot must return, for each node, whether that node detected
+// channel activity in the slot (values for screaming nodes are ignored).
+func RunScreamSlots(k int, vars []bool, slot func(screamers []bool) []bool) []bool {
+	relay := make([]bool, len(vars))
+	copy(relay, vars)
+	for s := 0; s < k; s++ {
+		det := slot(relay)
+		for i, d := range det {
+			if d && !relay[i] {
+				relay[i] = true
+			}
+		}
+	}
+	return relay
+}
+
+// IdealBackend evaluates the primitives directly against the physical
+// interference model: handshakes via phys.Channel.HandshakeOutcome and
+// SCREAM detection via aggregate-energy carrier sensing over the sensitivity
+// graph. In Fast mode (the default), the SCREAM result is computed as the
+// plain OR of the inputs, which is exact whenever K >= ID(G_S) — the
+// precondition the constructor enforces; strict mode runs the slot-by-slot
+// relay flood instead.
+type IdealBackend struct {
+	ch      *phys.Channel
+	sensAdj [][]int // sensitivity-graph in-neighbors: who node v can hear
+	k       int
+	timing  Timing
+	strict  bool
+	elapsed des.Time
+
+	screams    int // SCREAM primitives run
+	handshakes int // handshake slots run
+}
+
+// NewIdealBackend builds an ideal backend. sens is the sensitivity graph
+// (who hears whom); k is the SCREAM length in slots. Unless strict is set,
+// k must be at least the interference diameter of sens so that the fast OR
+// shortcut is exact.
+func NewIdealBackend(ch *phys.Channel, sens *graph.Graph, k int, timing Timing, strict bool) (*IdealBackend, error) {
+	if sens.NumNodes() != ch.NumNodes() {
+		return nil, fmt.Errorf("core: sensitivity graph has %d nodes, channel %d", sens.NumNodes(), ch.NumNodes())
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: SCREAM length k must be positive, got %d", k)
+	}
+	if !strict {
+		id := sens.Diameter()
+		if id < 0 {
+			return nil, fmt.Errorf("core: sensitivity graph is not strongly connected (ID = inf); SCREAM cannot work")
+		}
+		if k < id {
+			return nil, fmt.Errorf("core: k = %d is below the interference diameter %d; use strict mode to observe the failure", k, id)
+		}
+	}
+	// In-neighbors: v detects activity when any u with edge u->v screams.
+	n := ch.NumNodes()
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range sens.Neighbors(u) {
+			adj[v] = append(adj[v], u)
+		}
+	}
+	return &IdealBackend{ch: ch, sensAdj: adj, k: k, timing: timing, strict: strict}, nil
+}
+
+// NumNodes implements Backend.
+func (b *IdealBackend) NumNodes() int { return len(b.sensAdj) }
+
+// K returns the SCREAM length in slots.
+func (b *IdealBackend) K() int { return b.k }
+
+// Timing returns the slot timing model.
+func (b *IdealBackend) Timing() Timing { return b.timing }
+
+// Scream implements Backend.
+func (b *IdealBackend) Scream(vars []bool) []bool {
+	b.screams++
+	b.elapsed += des.Time(b.k) * b.timing.ScreamSlot()
+	if !b.strict {
+		// K >= ID and the sensitivity graph is strongly connected, so the
+		// flood saturates: every node ends with the OR of all inputs.
+		any := false
+		for _, v := range vars {
+			if v {
+				any = true
+				break
+			}
+		}
+		out := make([]bool, len(vars))
+		if any {
+			for i := range out {
+				out[i] = true
+			}
+		}
+		return out
+	}
+	return RunScreamSlots(b.k, vars, func(screamers []bool) []bool {
+		det := make([]bool, len(screamers))
+		for v := range det {
+			if screamers[v] {
+				continue
+			}
+			for _, u := range b.sensAdj[v] {
+				if screamers[u] {
+					det[v] = true
+					break
+				}
+			}
+		}
+		return det
+	})
+}
+
+// HandshakeSlot implements Backend.
+func (b *IdealBackend) HandshakeSlot(links []phys.Link) []bool {
+	b.handshakes++
+	b.elapsed += b.timing.HandshakeSlot()
+	return b.ch.HandshakeOutcome(links)
+}
+
+// Elapsed implements Backend.
+func (b *IdealBackend) Elapsed() des.Time { return b.elapsed }
+
+// ScreamCount returns the number of SCREAM primitives executed.
+func (b *IdealBackend) ScreamCount() int { return b.screams }
+
+// HandshakeCount returns the number of handshake slots executed.
+func (b *IdealBackend) HandshakeCount() int { return b.handshakes }

@@ -1,0 +1,75 @@
+// Package core implements the SCREAM paper's contribution: the SCREAM
+// network-wide-OR primitive (Section III-A), leader election on top of it
+// (Section III-B), and the PDD and FDD distributed scheduling protocols
+// (Sections III-C, III-D), together with the slot timing model that converts
+// protocol slot counts into execution time (Figures 8 and 9).
+package core
+
+import "scream/internal/des"
+
+// Timing converts slot payloads into slot durations. The protocols are
+// slot-synchronous: every GlobalSync'd slot must absorb the worst-case clock
+// skew between any two nodes, so each slot is padded with a guard of
+// 4x the skew bound (transmitters delay 2x skew after their local slot start,
+// which guarantees every receiver's local window fully contains the packet
+// for any pair of offsets within the bound — see internal/radio).
+type Timing struct {
+	BitRateBps float64  // radio bit rate (default 54 Mb/s)
+	SMBytes    int      // SCREAM transmission size in bytes (paper default 15)
+	DataBytes  int      // handshake data packet size
+	AckBytes   int      // handshake ACK size
+	SkewBound  des.Time // clock skew bound chi; guard = 4*chi
+	Turnaround des.Time // RX/TX turnaround per sub-slot
+}
+
+// DefaultTiming mirrors the paper's simulation setup: 15-byte SCREAMs on an
+// 802.11a/g-class radio, 1000-byte data packets, 14-byte ACKs, a 1 us clock
+// skew bound (GPS-grade synchronization; Figure 9 sweeps this explicitly)
+// and 1 us turnaround.
+func DefaultTiming() Timing {
+	return Timing{
+		BitRateBps: 54e6,
+		SMBytes:    15,
+		DataBytes:  1000,
+		AckBytes:   14,
+		SkewBound:  des.Microsecond,
+		Turnaround: des.Microsecond,
+	}
+}
+
+// TxTime returns the airtime of a payload of the given size.
+func (t Timing) TxTime(bytes int) des.Time {
+	if t.BitRateBps <= 0 {
+		return 0
+	}
+	return des.FromSeconds(float64(bytes) * 8 / t.BitRateBps)
+}
+
+// Guard returns the per-slot guard interval, 4x the skew bound.
+func (t Timing) Guard() des.Time { return 4 * t.SkewBound }
+
+// TxDelay returns how long a transmitter waits after its local slot start
+// before transmitting (2x the skew bound), centring the packet in every
+// receiver's window.
+func (t Timing) TxDelay() des.Time { return 2 * t.SkewBound }
+
+// ScreamSlot returns the duration of one SCREAM slot.
+func (t Timing) ScreamSlot() des.Time {
+	return t.TxTime(t.SMBytes) + t.Guard() + t.Turnaround
+}
+
+// DataSubSlot returns the duration of the data half of a handshake slot.
+func (t Timing) DataSubSlot() des.Time {
+	return t.TxTime(t.DataBytes) + t.Guard() + t.Turnaround
+}
+
+// AckSubSlot returns the duration of the ACK half of a handshake slot.
+func (t Timing) AckSubSlot() des.Time {
+	return t.TxTime(t.AckBytes) + t.Guard() + t.Turnaround
+}
+
+// HandshakeSlot returns the duration of a full two-way-handshake slot
+// (data sub-slot followed by ACK sub-slot).
+func (t Timing) HandshakeSlot() des.Time {
+	return t.DataSubSlot() + t.AckSubSlot()
+}

@@ -1,0 +1,116 @@
+// Package des is a small deterministic discrete-event simulation engine: an
+// int64-nanosecond clock and a stable event queue. It is the substrate that
+// replaces the paper's GTNetS packet-level simulator for the components that
+// need event-driven execution (the mote experiment, the packet-level radio).
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a Time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String implements fmt.Stringer.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded event loop. Events scheduled for the same
+// instant run in scheduling order, which makes runs bit-for-bit reproducible.
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+}
+
+// New returns an engine at time zero with no pending events.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics (it would silently corrupt causality).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Step executes the earliest pending event and returns true, or returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to exactly t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

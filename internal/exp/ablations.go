@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"fmt"
+
+	"scream/internal/core"
+	"scream/internal/sched"
+	"scream/internal/stats"
+)
+
+// ablationDensity is the operating point for the design-choice ablations: a
+// mid-sweep density where spatial reuse is plentiful.
+const ablationDensity = 10000
+
+// AblationPDDProbability sweeps PDD's activation probability on a finer grid
+// than Figure 6, quantifying the paper's observation that small p packs
+// slots slightly better (fewer mutually-interfering simultaneous trials).
+func AblationPDDProbability(opts Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("Ablation: PDD activation probability", "p", "% improvement over linear")
+	ps := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	if opts.Quick {
+		ps = []float64{0.2, 0.5, 0.8}
+	}
+	tm := core.DefaultTiming()
+	imp := fig.AddSeries("PDD improvement")
+	execT := fig.AddSeries("PDD exec time (s)")
+	for _, p := range ps {
+		impS := stats.NewSample(opts.seeds())
+		timeS := stats.NewSample(opts.seeds())
+		for seed := 0; seed < opts.seeds(); seed++ {
+			s, err := GridScenario(ablationDensity, 33+int64(seed))
+			if err != nil {
+				return nil, err
+			}
+			i, res, err := RunProtocol(s, core.PDD, p, tm, 0, int64(seed))
+			if err != nil {
+				return nil, err
+			}
+			impS.Add(i)
+			timeS.Add(res.ExecTime.Seconds())
+		}
+		is, ts := impS.Summarize(), timeS.Summarize()
+		imp.Append(p, is.Mean, is.CI95)
+		execT.Append(p, ts.Mean, ts.CI95)
+	}
+	return fig, nil
+}
+
+// AblationGreedyOrdering compares GreedyPhysical's edge orderings: the
+// head-ID order FDD emulates vs demand-descending vs length-descending.
+func AblationGreedyOrdering(opts Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("Ablation: GreedyPhysical edge ordering", "density (nodes/km^2)", "% improvement over linear")
+	orders := []sched.Ordering{sched.ByHeadIDDesc, sched.ByDemandDesc, sched.ByLengthDesc}
+	series := make([]*stats.Series, len(orders))
+	for i, o := range orders {
+		series[i] = fig.AddSeries(o.String())
+	}
+	for _, density := range Densities(opts.Quick) {
+		samples := make([]*stats.Sample, len(orders))
+		for i := range samples {
+			samples[i] = stats.NewSample(opts.seeds())
+		}
+		for seed := 0; seed < opts.seeds(); seed++ {
+			s, err := GridScenario(density, 55+int64(seed))
+			if err != nil {
+				return nil, err
+			}
+			for i, o := range orders {
+				sc, err := sched.GreedyPhysical(s.Net.Channel, s.Links, s.Demands, o)
+				if err != nil {
+					return nil, err
+				}
+				samples[i].Add(sched.ImprovementOverLinear(sc.Length(), s.TotalDemand()))
+			}
+		}
+		for i := range orders {
+			sum := samples[i].Summarize()
+			series[i].Append(density, sum.Mean, sum.CI95)
+		}
+	}
+	return fig, nil
+}
+
+// AblationScreamK quantifies the cost of over-provisioning K beyond the true
+// interference diameter: schedules are identical, execution time grows
+// linearly (correctness only needs K >= ID; Section IV-B).
+func AblationScreamK(opts Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("Ablation: SCREAM length K vs interference diameter", "K / ID(G_S)", "FDD execution time (s)")
+	multipliers := []float64{1, 1.5, 2, 3, 4, 6}
+	if opts.Quick {
+		multipliers = []float64{1, 2, 4}
+	}
+	tm := core.DefaultTiming()
+	series := fig.AddSeries("FDD exec time")
+	for _, m := range multipliers {
+		sample := stats.NewSample(opts.seeds())
+		for seed := 0; seed < opts.seeds(); seed++ {
+			s, err := GridScenario(ablationDensity, 66+int64(seed))
+			if err != nil {
+				return nil, err
+			}
+			id := s.Net.InterferenceDiameter()
+			k := int(float64(id) * m)
+			if k < id {
+				k = id
+			}
+			_, res, err := RunProtocol(s, core.FDD, 0, tm, k, int64(seed))
+			if err != nil {
+				return nil, err
+			}
+			sample.Add(res.ExecTime.Seconds())
+		}
+		sum := sample.Summarize()
+		series.Append(m, sum.Mean, sum.CI95)
+	}
+	return fig, nil
+}
+
+// AblationAckModel compares the paper's interference model (data + ACK
+// sub-slots) against the classic data-only physical model: the data-only
+// greedy packs slots tighter but a fraction of its slots are infeasible once
+// ACK interference is accounted for.
+func AblationAckModel(opts Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("Ablation: ACK sub-slot modelling", "density (nodes/km^2)", "value")
+	fullLen := fig.AddSeries("schedule length (full model)")
+	dataLen := fig.AddSeries("schedule length (data-only)")
+	badPct := fig.AddSeries("% data-only slots infeasible under full model")
+	for _, density := range Densities(opts.Quick) {
+		fullS := stats.NewSample(opts.seeds())
+		dataS := stats.NewSample(opts.seeds())
+		badS := stats.NewSample(opts.seeds())
+		for seed := 0; seed < opts.seeds(); seed++ {
+			s, err := GridScenario(density, 88+int64(seed))
+			if err != nil {
+				return nil, err
+			}
+			full, err := sched.GreedyPhysical(s.Net.Channel, s.Links, s.Demands, sched.ByHeadIDDesc)
+			if err != nil {
+				return nil, err
+			}
+			dataOnly, err := sched.GreedyPhysicalDataOnly(s.Net.Channel, s.Links, s.Demands, sched.ByHeadIDDesc)
+			if err != nil {
+				return nil, err
+			}
+			// Note: greedy packing is not monotone under constraint
+			// relaxation, so the data-only schedule is usually — but not
+			// always — the shorter one; the figure reports both.
+			fullS.Add(float64(full.Length()))
+			dataS.Add(float64(dataOnly.Length()))
+			bad := sched.CountInfeasibleSlots(s.Net.Channel, dataOnly)
+			badS.Add(100 * float64(bad) / float64(dataOnly.Length()))
+		}
+		f, d, b := fullS.Summarize(), dataS.Summarize(), badS.Summarize()
+		fullLen.Append(density, f.Mean, f.CI95)
+		dataLen.Append(density, d.Mean, d.CI95)
+		badPct.Append(density, b.Mean, b.CI95)
+	}
+	return fig, nil
+}
+
+// AblationFDDSeal measures the ASAP-seal extension: identical schedules,
+// strictly less execution time.
+func AblationFDDSeal(opts Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("Ablation: FDD slot sealing", "density (nodes/km^2)", "FDD execution time (s)")
+	normal := fig.AddSeries("paper seal")
+	asap := fig.AddSeries("ASAP seal")
+	tm := core.DefaultTiming()
+	for _, density := range Densities(opts.Quick) {
+		nS := stats.NewSample(opts.seeds())
+		aS := stats.NewSample(opts.seeds())
+		for seed := 0; seed < opts.seeds(); seed++ {
+			s, err := GridScenario(density, 44+int64(seed))
+			if err != nil {
+				return nil, err
+			}
+			id := s.Net.InterferenceDiameter()
+			run := func(asapSeal bool) (*core.Result, error) {
+				b, err := core.NewIdealBackend(s.Net.Channel, s.Net.Sens, id, tm, false)
+				if err != nil {
+					return nil, err
+				}
+				return core.Run(core.Config{
+					Variant: core.FDD, Links: s.Links, Demands: s.Demands,
+					Backend: b, ASAPSeal: asapSeal,
+				})
+			}
+			rn, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			ra, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			if !rn.Schedule.Equal(ra.Schedule) {
+				return nil, fmt.Errorf("ASAP seal changed the schedule at density %g seed %d", density, seed)
+			}
+			nS.Add(rn.ExecTime.Seconds())
+			aS.Add(ra.ExecTime.Seconds())
+		}
+		n, a := nS.Summarize(), aS.Summarize()
+		normal.Append(density, n.Mean, n.CI95)
+		asap.Append(density, a.Mean, a.CI95)
+	}
+	return fig, nil
+}

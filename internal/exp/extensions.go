@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scream/internal/mote"
+	"scream/internal/route"
+	"scream/internal/sched"
+	"scream/internal/stats"
+	"scream/internal/traffic"
+)
+
+// AblationBalancedRouting compares the paper's min-hop/random-tie-break
+// forest against the load-balanced variant (route.BuildForestBalanced):
+// same hop counts, evener gateway load, and the effect on TD and on the
+// GreedyPhysical schedule length. This probes the Section IV-D observation
+// that balanced trees reduce the aggregated traffic term of the complexity.
+func AblationBalancedRouting(opts Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("Ablation: routing-forest balancing", "density (nodes/km^2)", "slots")
+	tdPlain := fig.AddSeries("TD (random tie-break)")
+	tdBal := fig.AddSeries("TD (balanced)")
+	lenPlain := fig.AddSeries("greedy length (random tie-break)")
+	lenBal := fig.AddSeries("greedy length (balanced)")
+	for _, density := range Densities(opts.Quick) {
+		samples := map[*stats.Series]*stats.Sample{}
+		for _, s := range fig.Series {
+			samples[s] = stats.NewSample(opts.seeds())
+		}
+		for seed := 0; seed < opts.seeds(); seed++ {
+			s, err := GridScenario(density, 111+int64(seed))
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(222 + int64(seed)))
+			nodeDemand, err := traffic.Uniform(s.Net.NumNodes(), 1, 10, rng)
+			if err != nil {
+				return nil, err
+			}
+			gws := forestGateways(s)
+			for _, balanced := range []bool{false, true} {
+				var f *route.Forest
+				if balanced {
+					f, err = route.BuildForestBalanced(s.Net.Comm, gws, nodeDemand, rng)
+				} else {
+					f, err = route.BuildForest(s.Net.Comm, gws, rng)
+				}
+				if err != nil {
+					return nil, err
+				}
+				agg, err := f.AggregateDemand(nodeDemand)
+				if err != nil {
+					return nil, err
+				}
+				links := f.Links()
+				demands := make([]int, len(links))
+				for i, l := range links {
+					demands[i] = agg[l.From]
+				}
+				g, err := sched.GreedyPhysical(s.Net.Channel, links, demands, sched.ByHeadIDDesc)
+				if err != nil {
+					return nil, err
+				}
+				if balanced {
+					samples[tdBal].Add(float64(sched.LinearLength(demands)))
+					samples[lenBal].Add(float64(g.Length()))
+				} else {
+					samples[tdPlain].Add(float64(sched.LinearLength(demands)))
+					samples[lenPlain].Add(float64(g.Length()))
+				}
+			}
+		}
+		for _, s := range fig.Series {
+			sum := samples[s].Summarize()
+			s.Append(density, sum.Mean, sum.CI95)
+		}
+	}
+	return fig, nil
+}
+
+// forestGateways recovers the gateway set of a scenario (nodes without a
+// link of their own).
+func forestGateways(s *Scenario) []int {
+	owns := make(map[int]bool, len(s.Links))
+	for _, l := range s.Links {
+		owns[l.From] = true
+	}
+	var gws []int
+	for u := 0; u < s.Net.NumNodes(); u++ {
+		if !owns[u] {
+			gws = append(gws, u)
+		}
+	}
+	return gws
+}
+
+// AblationMoteRelays sweeps the number of relays in the mote experiment at a
+// reliable SCREAM size: SCREAM's core assumption is that carrier sensing is
+// COLLISION-RESILIENT, so detection error must stay negligible as more
+// relays scream on top of each other.
+func AblationMoteRelays(opts Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("Ablation: SCREAM collision resilience vs relay count", "relays", "% error")
+	relays := []int{1, 2, 4, 6, 9, 12}
+	screams := 600
+	if opts.Quick {
+		relays = []int{1, 6, 12}
+		screams = 120
+	}
+	series := fig.AddSeries("detection error (24-byte screams)")
+	for _, r := range relays {
+		sample := stats.NewSample(opts.seeds())
+		for seed := 0; seed < opts.seeds(); seed++ {
+			cfg := mote.DefaultConfig(24)
+			cfg.NumRelays = r
+			cfg.Screams = screams
+			cfg.Seed = int64(seed + 1)
+			res, err := mote.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			sample.Add(res.ErrorPercent)
+		}
+		sum := sample.Summarize()
+		series.Append(float64(r), sum.Mean, sum.CI95)
+	}
+	// Sanity: resilience means no blow-up at high relay counts.
+	last := series.Points[len(series.Points)-1]
+	if last.Y > 25 {
+		return fig, fmt.Errorf("exp: collision resilience violated: %.1f%% error with %d relays", last.Y, relays[len(relays)-1])
+	}
+	return fig, nil
+}

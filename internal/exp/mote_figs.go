@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"scream/internal/mote"
+	"scream/internal/stats"
+)
+
+// Fig4 regenerates Figure 4: percentage error in SCREAM detection vs SCREAM
+// size in bytes, on the mote experiment (8 motes, 6 relays in a clique,
+// initiator two hops from the monitor, 2000 screams at 100 ms).
+func Fig4(opts Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("Fig 4: Percentage Error in SCREAM detection vs SCREAM size (bytes)", "SCREAM size (bytes)", "% error")
+	sizes := []int{2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32}
+	screams := 2000
+	if opts.Quick {
+		sizes = []int{2, 8, 24}
+		screams = 150
+	}
+	series := fig.AddSeries("detection error")
+	for _, b := range sizes {
+		sample := stats.NewSample(opts.seeds())
+		for seed := 0; seed < opts.seeds(); seed++ {
+			cfg := mote.DefaultConfig(b)
+			cfg.Screams = screams
+			cfg.Seed = int64(seed + 1)
+			res, err := mote.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			sample.Add(res.ErrorPercent)
+		}
+		sum := sample.Summarize()
+		series.Append(float64(b), sum.Mean, sum.CI95)
+	}
+	return fig, nil
+}
+
+// Fig5 regenerates Figure 5: a snapshot of the monitor's moving-average RSSI
+// for 24-byte screams, showing clean periodic humps above the -60 dBm
+// threshold.
+func Fig5(opts Options) (*stats.Figure, error) {
+	fig := stats.NewFigure("Fig 5: Moving Average of RSSI values (24-byte SCREAM)", "time (ms)", "RSSI moving average (dBm)")
+	cfg := mote.DefaultConfig(24)
+	cfg.Screams = 20
+	if opts.Quick {
+		cfg.Screams = 8
+	}
+	res, err := mote.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	series := fig.AddSeries("RSSI MA")
+	for _, p := range res.Trace {
+		series.Append(float64(p.At)/1e6, p.DBm, 0)
+	}
+	thr := fig.AddSeries("threshold")
+	if len(res.Trace) > 0 {
+		first := res.Trace[0].At
+		last := res.Trace[len(res.Trace)-1].At
+		thr.Append(float64(first)/1e6, float64(cfg.ThresholdDBm), 0)
+		thr.Append(float64(last)/1e6, float64(cfg.ThresholdDBm), 0)
+	}
+	return fig, nil
+}

@@ -1,0 +1,57 @@
+package graph
+
+// Edge is an undirected node pair used for link-distance computations.
+type Edge struct {
+	U, V int
+}
+
+// LinkHopDistance returns the hop distance between two links per
+// Definition 3: the minimum hop distance between their endpoints in the
+// communication graph g (treated as given; pass an undirected graph for the
+// paper's setting). It returns -1 if no endpoint pair is connected.
+func LinkHopDistance(g *Graph, a, b Edge) int {
+	best := -1
+	for _, src := range []int{a.U, a.V} {
+		dist := g.BFS(src)
+		for _, dst := range []int{b.U, b.V} {
+			d := dist[dst]
+			if d < 0 {
+				continue
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// LinkKNeighborhood returns the set of links (indices into links) at hop
+// distance at most k from links[i], per Definition 4. The link itself is
+// included (distance 0).
+func LinkKNeighborhood(g *Graph, links []Edge, i, k int) []int {
+	a := links[i]
+	distU := g.BFS(a.U)
+	distV := g.BFS(a.V)
+	var out []int
+	for j, b := range links {
+		d := minNonNeg(distU[b.U], distU[b.V], distV[b.U], distV[b.V])
+		if d >= 0 && d <= k {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func minNonNeg(vals ...int) int {
+	best := -1
+	for _, v := range vals {
+		if v < 0 {
+			continue
+		}
+		if best < 0 || v < best {
+			best = v
+		}
+	}
+	return best
+}

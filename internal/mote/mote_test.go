@@ -1,0 +1,182 @@
+package mote
+
+import (
+	"testing"
+
+	"scream/internal/des"
+)
+
+// quickConfig shrinks the run for fast tests while keeping the physics.
+func quickConfig(smBytes, screams int) Config {
+	cfg := DefaultConfig(smBytes)
+	cfg.Screams = screams
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig(15).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.SMBytes = 0 },
+		func(c *Config) { c.NumRelays = 0 },
+		func(c *Config) { c.Screams = 0 },
+		func(c *Config) { c.Period = 0 },
+		func(c *Config) { c.ByteTime = 0 },
+		func(c *Config) { c.RelaySample = 0 },
+		func(c *Config) { c.MonitorEvery = 0 },
+		func(c *Config) { c.AvgWindow = 0 },
+		func(c *Config) { c.Tolerance = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(15)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+	cfg := DefaultConfig(0)
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run must reject invalid config")
+	}
+}
+
+func TestLargeScreamReliable(t *testing.T) {
+	// 24-byte screams (10 ms airtime): the paper reports negligible error.
+	res, err := Run(quickConfig(24, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorPercent > 5 {
+		t.Errorf("24-byte screams should be near-perfectly detected, error = %.1f%%", res.ErrorPercent)
+	}
+	if res.Detections < 140 {
+		t.Errorf("expected ~150 detections, got %d", res.Detections)
+	}
+}
+
+func TestTinyScreamUnreliable(t *testing.T) {
+	// 2-byte screams (0.8 ms airtime, far below the monitor's 3x1.3 ms
+	// averaging window): the paper reports rapidly growing error.
+	res, err := Run(quickConfig(2, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorPercent < 20 {
+		t.Errorf("2-byte screams should be unreliable, error = %.1f%%", res.ErrorPercent)
+	}
+}
+
+func TestErrorDecreasesWithSize(t *testing.T) {
+	// The Figure 4 shape: error(2B) >= error(10B) >= error(24B), with a
+	// sharp knee below ~10 bytes.
+	errs := map[int]float64{}
+	for _, b := range []int{2, 6, 10, 24} {
+		res, err := Run(quickConfig(b, 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[b] = res.ErrorPercent
+		t.Logf("%2d bytes: %.1f%% error, %d detections", b, res.ErrorPercent, res.Detections)
+	}
+	if errs[2] < errs[10] {
+		t.Errorf("error should fall with size: 2B=%.1f%% < 10B=%.1f%%", errs[2], errs[10])
+	}
+	if errs[6] < errs[24] {
+		t.Errorf("error should fall with size: 6B=%.1f%% < 24B=%.1f%%", errs[6], errs[24])
+	}
+	if errs[24] > 5 {
+		t.Errorf("24B error should be negligible, got %.1f%%", errs[24])
+	}
+}
+
+func TestIntervalsNearPeriod(t *testing.T) {
+	res, err := Run(quickConfig(24, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) == 0 {
+		t.Fatal("no intervals measured")
+	}
+	period := 100 * des.Millisecond
+	within := 0
+	for _, iv := range res.Intervals {
+		if iv > period*95/100 && iv < period*105/100 {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(len(res.Intervals)); frac < 0.95 {
+		t.Errorf("only %.0f%% of intervals near 100 ms", 100*frac)
+	}
+}
+
+func TestTraceCapturesScreams(t *testing.T) {
+	// Figure 5: the moving average must show periodic humps above the
+	// threshold when screams are detected, and sit near the noise floor
+	// otherwise.
+	cfg := quickConfig(24, 20)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	above, below := 0, 0
+	for _, p := range res.Trace {
+		if p.DBm > float64(cfg.ThresholdDBm) {
+			above++
+		} else {
+			below++
+		}
+	}
+	if above == 0 {
+		t.Error("trace never crosses the threshold: no screams visible")
+	}
+	if below == 0 {
+		t.Error("trace never returns to the noise floor")
+	}
+	// Screams occupy ~10 ms of every 100 ms; above-threshold fraction
+	// should be roughly 10-30%, not the majority.
+	if frac := float64(above) / float64(above+below); frac > 0.5 {
+		t.Errorf("above-threshold fraction %.2f too high; relays may be storming", frac)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := Run(quickConfig(12, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickConfig(12, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ErrorPercent != b.ErrorPercent || a.Detections != b.Detections {
+		t.Error("same seed must reproduce the same result")
+	}
+	cfg := quickConfig(12, 80)
+	cfg.Seed = 99
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Detections == c.Detections && a.ErrorPercent == c.ErrorPercent {
+		t.Log("different seed gave identical stats; suspicious but possible")
+	}
+}
+
+func TestMonitorTwoHopsAway(t *testing.T) {
+	// Without relays re-screaming, the monitor (2 hops from the initiator,
+	// receiving at -88 dBm) must detect almost nothing: the relaying is
+	// what makes SCREAM work.
+	cfg := quickConfig(24, 100)
+	cfg.RelayAtMonitor = -95 // cripple the relays' reach
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections > 5 {
+		t.Errorf("monitor should not hear the initiator directly, got %d detections", res.Detections)
+	}
+}

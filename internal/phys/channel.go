@@ -1,0 +1,142 @@
+package phys
+
+import (
+	"fmt"
+	"math"
+)
+
+// Channel captures everything the interference model needs about a deployed
+// network: per-node transmit powers, the pairwise linear gain matrix
+// (propagation plus optional static shadowing), background noise, and the
+// SINR threshold beta. The paper assumes fixed (but possibly heterogeneous)
+// transmit power and no power control (Section II).
+type Channel struct {
+	txPowerMW []float64
+	gain      [][]float64 // gain[i][j]: linear gain from node i to node j
+	noiseMW   float64
+	beta      float64 // linear SINR threshold
+}
+
+// NewChannel builds a channel from per-node TX powers (mW), a gain matrix
+// and scalar noise (mW) and linear SINR threshold beta.
+func NewChannel(txPowerMW []float64, gain [][]float64, noiseMW, beta float64) (*Channel, error) {
+	n := len(txPowerMW)
+	if len(gain) != n {
+		return nil, fmt.Errorf("phys: gain matrix has %d rows for %d nodes", len(gain), n)
+	}
+	for i, row := range gain {
+		if len(row) != n {
+			return nil, fmt.Errorf("phys: gain row %d has %d entries for %d nodes", i, len(row), n)
+		}
+	}
+	if noiseMW <= 0 {
+		return nil, fmt.Errorf("phys: noise must be positive, got %v", noiseMW)
+	}
+	if beta <= 0 {
+		return nil, fmt.Errorf("phys: beta must be positive, got %v", beta)
+	}
+	for i, p := range txPowerMW {
+		if p <= 0 {
+			return nil, fmt.Errorf("phys: node %d has non-positive TX power %v", i, p)
+		}
+	}
+	return &Channel{txPowerMW: txPowerMW, gain: gain, noiseMW: noiseMW, beta: beta}, nil
+}
+
+// NumNodes returns the number of nodes the channel models.
+func (c *Channel) NumNodes() int { return len(c.txPowerMW) }
+
+// NoiseMW returns the background noise power in milliwatts.
+func (c *Channel) NoiseMW() float64 { return c.noiseMW }
+
+// Beta returns the linear SINR threshold.
+func (c *Channel) Beta() float64 { return c.beta }
+
+// TxPowerMW returns node u's transmit power in milliwatts.
+func (c *Channel) TxPowerMW(u int) float64 { return c.txPowerMW[u] }
+
+// Gain returns the linear gain from node u to node v. The gain from a node
+// to itself is not meaningful and returns 0.
+func (c *Channel) Gain(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	return c.gain[u][v]
+}
+
+// RxPowerMW returns P_v(u): the power received at v when u transmits.
+func (c *Channel) RxPowerMW(u, v int) float64 {
+	return c.txPowerMW[u] * c.Gain(u, v)
+}
+
+// SNR returns the interference-free signal-to-noise ratio of a transmission
+// from u to v.
+func (c *Channel) SNR(u, v int) float64 {
+	return c.RxPowerMW(u, v) / c.noiseMW
+}
+
+// LinkUp reports whether a directed transmission u -> v succeeds in the
+// absence of any interference, i.e. SNR >= beta.
+func (c *Channel) LinkUp(u, v int) bool {
+	return c.SNR(u, v) >= c.beta
+}
+
+// AggregatePowerMW returns the total power received at node rx when every
+// node in senders transmits simultaneously. rx itself is skipped if present
+// in senders (a node does not hear its own signal as channel activity for
+// carrier-sensing purposes — it knows it is transmitting).
+func (c *Channel) AggregatePowerMW(rx int, senders []int) float64 {
+	sum := 0.0
+	for _, s := range senders {
+		if s == rx {
+			continue
+		}
+		sum += c.RxPowerMW(s, rx)
+	}
+	return sum
+}
+
+// Detects reports whether node rx detects channel activity (carrier sense /
+// energy detection) above detectMW when the given senders transmit. This is
+// the collision-resilient primitive the SCREAM subroutine relies on: the
+// aggregate energy of overlapping screams only grows with more senders.
+func (c *Channel) Detects(rx int, senders []int, detectMW float64) bool {
+	return c.AggregatePowerMW(rx, senders) >= detectMW
+}
+
+// SINR returns the signal-to-interference-plus-noise ratio of a transmission
+// from u to v while each node in interferers also transmits. u and v are
+// skipped if present in interferers.
+func (c *Channel) SINR(u, v int, interferers []int) float64 {
+	interf := 0.0
+	for _, x := range interferers {
+		if x == u || x == v {
+			continue
+		}
+		interf += c.RxPowerMW(x, v)
+	}
+	return c.RxPowerMW(u, v) / (c.noiseMW + interf)
+}
+
+// BuildGainMatrix evaluates a path loss model over node positions given as
+// pairwise distances, producing the symmetric gain matrix. shadowDB, when
+// non-nil, supplies a symmetric per-pair shadowing term in dB that is added
+// to the path loss (log-normal shadowing); pass nil for pure log-distance.
+func BuildGainMatrix(dist [][]float64, pl PathLoss, shadowDB [][]float64) [][]float64 {
+	n := len(dist)
+	gain := make([][]float64, n)
+	for i := range gain {
+		gain[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g := pl.Gain(dist[i][j])
+			if shadowDB != nil {
+				g *= math.Pow(10, -shadowDB[i][j]/10)
+			}
+			gain[i][j] = g
+			gain[j][i] = g
+		}
+	}
+	return gain
+}

@@ -1,0 +1,215 @@
+package phys
+
+import "fmt"
+
+// Link is a directed data transmission: From sends a data packet to To in the
+// data sub-slot, and To returns a link-layer ACK to From in the ACK sub-slot
+// (the slot-splitting variant of the interference model, Section II).
+type Link struct {
+	From, To int
+}
+
+// String implements fmt.Stringer.
+func (l Link) String() string { return fmt.Sprintf("%d->%d", l.From, l.To) }
+
+// Reverse returns the link with endpoints swapped.
+func (l Link) Reverse() Link { return Link{From: l.To, To: l.From} }
+
+// SharesEndpoint reports whether two links have a node in common. Links that
+// share an endpoint can never be scheduled in the same slot: radios are
+// half-duplex and single-channel, so a node cannot take part in two
+// simultaneous transmissions (primary conflict).
+func (l Link) SharesEndpoint(m Link) bool {
+	return l.From == m.From || l.From == m.To || l.To == m.From || l.To == m.To
+}
+
+// FeasibleSet reports whether the set of links can all be scheduled in the
+// same slot and correctly received, per the paper's model: for every link
+// (u,v),
+//
+//	P_v(u) / (N + sum_{x in V'} P_v(x))  >= beta   (data sub-slot), and
+//	P_u(v) / (N + sum_{y in V''} P_u(y)) >= beta   (ACK sub-slot),
+//
+// where V' is the set of all other data senders and V” the set of all other
+// ACK senders (the receivers of the other links). Primary conflicts (shared
+// endpoints, including duplicate links) also make a set infeasible.
+func (c *Channel) FeasibleSet(links []Link) bool {
+	for i, l := range links {
+		for _, m := range links[i+1:] {
+			if l.SharesEndpoint(m) {
+				return false
+			}
+		}
+	}
+	for i, l := range links {
+		dataInterf, ackInterf := 0.0, 0.0
+		for j, m := range links {
+			if i == j {
+				continue
+			}
+			dataInterf += c.RxPowerMW(m.From, l.To)
+			ackInterf += c.RxPowerMW(m.To, l.From)
+		}
+		if c.RxPowerMW(l.From, l.To) < c.beta*(c.noiseMW+dataInterf) {
+			return false
+		}
+		if c.RxPowerMW(l.To, l.From) < c.beta*(c.noiseMW+ackInterf) {
+			return false
+		}
+	}
+	return true
+}
+
+// HandshakeOutcome simulates what actually happens when all the given links
+// attempt their two-way handshake concurrently in one slot (the DoHandShake
+// step of the protocols): first every sender transmits its data packet; a
+// receiver decodes iff its data SINR clears beta. Then exactly the receivers
+// that decoded send ACKs; a handshake succeeds iff the data was decoded and
+// the ACK SINR at the sender clears beta given the other concurrent ACKs.
+//
+// Links with primary conflicts always fail (both of the conflicting
+// handshakes are destroyed). The returned slice is indexed like links, true
+// meaning the two-way handshake succeeded.
+func (c *Channel) HandshakeOutcome(links []Link) []bool {
+	n := len(links)
+	ok := make([]bool, n)
+	conflicted := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if links[i].SharesEndpoint(links[j]) {
+				conflicted[i] = true
+				conflicted[j] = true
+			}
+		}
+	}
+	// Data sub-slot: every From transmits regardless of conflicts (a
+	// conflicted node still radiates energy, it just cannot complete its
+	// own handshake).
+	dataOK := make([]bool, n)
+	for i, l := range links {
+		if conflicted[i] {
+			continue
+		}
+		interf := 0.0
+		for j, m := range links {
+			if i == j {
+				continue
+			}
+			interf += c.RxPowerMW(m.From, l.To)
+		}
+		dataOK[i] = c.RxPowerMW(l.From, l.To) >= c.beta*(c.noiseMW+interf)
+	}
+	// ACK sub-slot: only receivers that decoded the data transmit ACKs.
+	for i, l := range links {
+		if !dataOK[i] {
+			continue
+		}
+		interf := 0.0
+		for j, m := range links {
+			if i == j || !dataOK[j] {
+				continue
+			}
+			interf += c.RxPowerMW(m.To, l.From)
+		}
+		ok[i] = c.RxPowerMW(l.To, l.From) >= c.beta*(c.noiseMW+interf)
+	}
+	return ok
+}
+
+// SlotChecker incrementally maintains the feasibility state of one slot so a
+// greedy scheduler can test "can link l join this slot?" in O(k) time for a
+// slot holding k links. It mirrors FeasibleSet exactly.
+type SlotChecker struct {
+	c          *Channel
+	links      []Link
+	dataInterf []float64 // interference at links[i].To from other data senders
+	ackInterf  []float64 // interference at links[i].From from other ACK senders
+	busy       map[int]bool
+	ignoreAck  bool
+}
+
+// NewSlotChecker returns an empty slot bound to channel c.
+func NewSlotChecker(c *Channel) *SlotChecker {
+	return &SlotChecker{c: c, busy: make(map[int]bool)}
+}
+
+// NewSlotCheckerDataOnly returns a checker that ignores the ACK sub-slot
+// inequality. It exists for the ablation quantifying how much the paper's
+// link-layer-reliability extension of the interference model matters:
+// schedules it accepts may be infeasible under the full model.
+func NewSlotCheckerDataOnly(c *Channel) *SlotChecker {
+	return &SlotChecker{c: c, busy: make(map[int]bool), ignoreAck: true}
+}
+
+// Len returns the number of links currently in the slot.
+func (s *SlotChecker) Len() int { return len(s.links) }
+
+// Links returns a copy of the links currently in the slot.
+func (s *SlotChecker) Links() []Link {
+	out := make([]Link, len(s.links))
+	copy(out, s.links)
+	return out
+}
+
+// CanAdd reports whether adding l keeps the slot feasible: l itself must
+// clear both SINR inequalities against the current slot, every current link
+// must survive l's added data and ACK interference, and l must not share an
+// endpoint with any current link.
+func (s *SlotChecker) CanAdd(l Link) bool {
+	if l.From == l.To || s.busy[l.From] || s.busy[l.To] {
+		return false
+	}
+	c := s.c
+	beta, noise := c.beta, c.noiseMW
+
+	// New link's own inequalities.
+	dataInterf, ackInterf := 0.0, 0.0
+	for _, m := range s.links {
+		dataInterf += c.RxPowerMW(m.From, l.To)
+		ackInterf += c.RxPowerMW(m.To, l.From)
+	}
+	if c.RxPowerMW(l.From, l.To) < beta*(noise+dataInterf) {
+		return false
+	}
+	if !s.ignoreAck && c.RxPowerMW(l.To, l.From) < beta*(noise+ackInterf) {
+		return false
+	}
+	// Existing links under the extra interference from l.
+	for i, m := range s.links {
+		if c.RxPowerMW(m.From, m.To) < beta*(noise+s.dataInterf[i]+c.RxPowerMW(l.From, m.To)) {
+			return false
+		}
+		if !s.ignoreAck && c.RxPowerMW(m.To, m.From) < beta*(noise+s.ackInterf[i]+c.RxPowerMW(l.To, m.From)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add inserts l into the slot, updating interference tallies. Callers are
+// expected to have checked CanAdd; Add does not re-verify feasibility.
+func (s *SlotChecker) Add(l Link) {
+	c := s.c
+	dataInterf, ackInterf := 0.0, 0.0
+	for i, m := range s.links {
+		s.dataInterf[i] += c.RxPowerMW(l.From, m.To)
+		s.ackInterf[i] += c.RxPowerMW(l.To, m.From)
+		dataInterf += c.RxPowerMW(m.From, l.To)
+		ackInterf += c.RxPowerMW(m.To, l.From)
+	}
+	s.links = append(s.links, l)
+	s.dataInterf = append(s.dataInterf, dataInterf)
+	s.ackInterf = append(s.ackInterf, ackInterf)
+	s.busy[l.From] = true
+	s.busy[l.To] = true
+}
+
+// Reset empties the slot for reuse.
+func (s *SlotChecker) Reset() {
+	s.links = s.links[:0]
+	s.dataInterf = s.dataInterf[:0]
+	s.ackInterf = s.ackInterf[:0]
+	for k := range s.busy {
+		delete(s.busy, k)
+	}
+}

@@ -1,0 +1,96 @@
+package phys
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogDistanceGain(t *testing.T) {
+	pl := LogDistance{RefDist: 1, RefLossDB: 40, Exponent: 3}
+	// At the reference distance the loss is exactly RefLossDB.
+	if got, want := pl.Gain(1), math.Pow(10, -4); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Gain(1) = %v, want %v", got, want)
+	}
+	// At 10x the distance, alpha=3 adds 30 dB of loss.
+	if got, want := pl.Gain(10), math.Pow(10, -7); math.Abs(got-want) > 1e-18 {
+		t.Errorf("Gain(10) = %v, want %v", got, want)
+	}
+	// Below the reference distance the gain is clamped.
+	if got, want := pl.Gain(0.1), pl.Gain(1); got != want {
+		t.Errorf("Gain(0.1) = %v, want clamp to Gain(1) = %v", got, want)
+	}
+}
+
+func TestLogDistanceMonotone(t *testing.T) {
+	pl := DefaultLogDistance()
+	prev := math.Inf(1)
+	for d := 1.0; d < 1000; d *= 1.3 {
+		g := pl.Gain(d)
+		if g > prev {
+			t.Fatalf("gain increased with distance at d=%v", d)
+		}
+		if g <= 0 {
+			t.Fatalf("gain must stay positive, got %v at d=%v", g, d)
+		}
+		prev = g
+	}
+}
+
+func TestMaxRangeInvertsGain(t *testing.T) {
+	pl := DefaultLogDistance()
+	noise := DBm(-96).MilliWatts()
+	beta := DB(10).Linear()
+	txp := DBm(20).MilliWatts()
+
+	r := pl.MaxRange(txp, noise, beta)
+	if r <= 0 {
+		t.Fatal("expected positive range")
+	}
+	// Exactly at range the SNR should be beta.
+	if snr := txp * pl.Gain(r) / noise; math.Abs(snr-beta)/beta > 1e-9 {
+		t.Errorf("SNR at MaxRange = %v, want beta = %v", snr, beta)
+	}
+	// Just beyond, the link is down.
+	if snr := txp * pl.Gain(r*1.01) / noise; snr >= beta {
+		t.Errorf("SNR beyond range should be < beta, got %v", snr)
+	}
+}
+
+func TestMaxRangeDegenerate(t *testing.T) {
+	pl := DefaultLogDistance()
+	if pl.MaxRange(0, 1, 1) != 0 {
+		t.Error("zero power should give zero range")
+	}
+	if pl.MaxRange(1, 0, 1) != 0 {
+		t.Error("zero noise is rejected")
+	}
+	// Power too low to close even the reference loss.
+	if r := pl.MaxRange(1e-10, 1, 1); r != 0 {
+		t.Errorf("unclosable link should give range 0, got %v", r)
+	}
+}
+
+func TestPowerForRangeInverse(t *testing.T) {
+	pl := DefaultLogDistance()
+	noise := DBm(-96).MilliWatts()
+	beta := DB(10).Linear()
+	for _, d := range []float64{5, 25, 100, 400} {
+		p := pl.PowerForRange(d, noise, beta)
+		r := pl.MaxRange(p, noise, beta)
+		if math.Abs(r-d)/d > 1e-9 {
+			t.Errorf("PowerForRange/MaxRange not inverse at d=%v: got r=%v", d, r)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultLogDistance().Validate(); err != nil {
+		t.Errorf("default model should validate, got %v", err)
+	}
+	if err := (LogDistance{RefDist: 0, Exponent: 3}).Validate(); err == nil {
+		t.Error("zero ref distance should fail validation")
+	}
+	if err := (LogDistance{RefDist: 1, Exponent: 0}).Validate(); err == nil {
+		t.Error("zero exponent should fail validation")
+	}
+}

@@ -1,0 +1,199 @@
+// Package route builds the gateway-rooted routing forest of the paper
+// (Section II): every non-gateway node joins the tree of its minimum-hop
+// gateway (ties broken randomly), traffic flows along reverse trees toward
+// the gateways, and the demand on a node's upstream edge is the aggregated
+// demand of its subtree.
+package route
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scream/internal/graph"
+	"scream/internal/phys"
+)
+
+// Forest is a gateway-rooted routing forest over nodes 0..n-1.
+type Forest struct {
+	parent   []int // -1 for gateways
+	depth    []int // 0 for gateways
+	gateway  []int // root gateway of each node's tree
+	gateways []int
+}
+
+// BuildForest constructs the routing forest on the communication graph comm
+// (symmetric). Every node picks a parent among its neighbors one hop closer
+// to the nearest gateway; ties are broken uniformly at random when rng is
+// non-nil and toward the lowest node ID otherwise. An error is returned when
+// some node cannot reach any gateway.
+func BuildForest(comm *graph.Graph, gateways []int, rng *rand.Rand) (*Forest, error) {
+	n := comm.NumNodes()
+	if len(gateways) == 0 {
+		return nil, fmt.Errorf("route: need at least one gateway")
+	}
+	isGW := make(map[int]bool, len(gateways))
+	for _, g := range gateways {
+		if g < 0 || g >= n {
+			return nil, fmt.Errorf("route: gateway %d out of range", g)
+		}
+		if isGW[g] {
+			return nil, fmt.Errorf("route: duplicate gateway %d", g)
+		}
+		isGW[g] = true
+	}
+
+	dist, _ := comm.MultiSourceBFS(gateways)
+	f := &Forest{
+		parent:   make([]int, n),
+		depth:    make([]int, n),
+		gateway:  make([]int, n),
+		gateways: append([]int(nil), gateways...),
+	}
+	for u := 0; u < n; u++ {
+		f.parent[u] = -1
+		f.gateway[u] = -1
+	}
+	for _, g := range gateways {
+		f.gateway[g] = g
+	}
+	for u := 0; u < n; u++ {
+		if isGW[u] {
+			continue
+		}
+		if dist[u] < 0 {
+			return nil, fmt.Errorf("route: node %d cannot reach any gateway", u)
+		}
+		var candidates []int
+		for _, v := range comm.Neighbors(u) {
+			if dist[v] == dist[u]-1 {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("route: node %d has no parent candidate", u)
+		}
+		pick := candidates[0]
+		if rng != nil {
+			pick = candidates[rng.Intn(len(candidates))]
+		}
+		f.parent[u] = pick
+		f.depth[u] = dist[u]
+	}
+	// Resolve tree roots by walking up (paths are short; memoization is
+	// unnecessary at mesh-backbone sizes).
+	for u := 0; u < n; u++ {
+		v := u
+		for f.parent[v] >= 0 {
+			v = f.parent[v]
+		}
+		f.gateway[u] = v
+	}
+	return f, nil
+}
+
+// NumNodes returns the number of nodes in the forest.
+func (f *Forest) NumNodes() int { return len(f.parent) }
+
+// Parent returns u's parent, or -1 if u is a gateway.
+func (f *Forest) Parent(u int) int { return f.parent[u] }
+
+// Depth returns u's hop distance to its gateway.
+func (f *Forest) Depth(u int) int { return f.depth[u] }
+
+// Gateway returns the root gateway of u's tree.
+func (f *Forest) Gateway(u int) int { return f.gateway[u] }
+
+// Gateways returns the gateway node IDs.
+func (f *Forest) Gateways() []int { return append([]int(nil), f.gateways...) }
+
+// IsGateway reports whether u is a gateway.
+func (f *Forest) IsGateway(u int) bool { return f.parent[u] == -1 }
+
+// EdgeOf returns the upstream edge owned by node u (data flows from u to its
+// parent). ok is false for gateways, which own no edge — the one-to-one
+// node/edge mapping of Section II.
+func (f *Forest) EdgeOf(u int) (l phys.Link, ok bool) {
+	p := f.parent[u]
+	if p < 0 {
+		return phys.Link{}, false
+	}
+	return phys.Link{From: u, To: p}, true
+}
+
+// Links returns every forest edge as a directed link, ordered by owner node
+// ID. Entry i corresponds to the i-th non-gateway node in ID order.
+func (f *Forest) Links() []phys.Link {
+	links := make([]phys.Link, 0, len(f.parent)-len(f.gateways))
+	for u := range f.parent {
+		if l, ok := f.EdgeOf(u); ok {
+			links = append(links, l)
+		}
+	}
+	return links
+}
+
+// Children returns the children lists of every node.
+func (f *Forest) Children() [][]int {
+	ch := make([][]int, len(f.parent))
+	for u, p := range f.parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], u)
+		}
+	}
+	return ch
+}
+
+// AggregateDemand returns, for each node u, the demand on u's upstream edge:
+// the sum of nodeDemand over the subtree rooted at u. Gateways aggregate to
+// zero (they own no edge; their generated demand, if any, needs no wireless
+// hop). nodeDemand must have one entry per node.
+func (f *Forest) AggregateDemand(nodeDemand []int) ([]int, error) {
+	n := len(f.parent)
+	if len(nodeDemand) != n {
+		return nil, fmt.Errorf("route: %d demands for %d nodes", len(nodeDemand), n)
+	}
+	agg := make([]int, n)
+	// Process nodes in decreasing depth so children are done before parents.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Counting sort by depth (depths are small).
+	maxDepth := 0
+	for _, d := range f.depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	buckets := make([][]int, maxDepth+1)
+	for u := 0; u < n; u++ {
+		buckets[f.depth[u]] = append(buckets[f.depth[u]], u)
+	}
+	for d := maxDepth; d >= 1; d-- {
+		for _, u := range buckets[d] {
+			if nodeDemand[u] < 0 {
+				return nil, fmt.Errorf("route: node %d has negative demand %d", u, nodeDemand[u])
+			}
+			agg[u] += nodeDemand[u]
+			p := f.parent[u]
+			if p >= 0 {
+				agg[p] += agg[u]
+			}
+		}
+	}
+	// Gateways own no edge.
+	for _, g := range f.gateways {
+		agg[g] = 0
+	}
+	return agg, nil
+}
+
+// TotalDemand returns the sum of per-edge aggregated demands — the TD term
+// of Theorem 5, equal to the length of a fully serialized (linear) schedule.
+func TotalDemand(agg []int) int {
+	total := 0
+	for _, d := range agg {
+		total += d
+	}
+	return total
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"scream/internal/graph"
+	"scream/internal/phys"
+)
+
+// Ordering selects how GreedyPhysical ranks edges before the greedy pass.
+// The approximation bound of the MobiCom 2006 paper holds for any fixed
+// ordering (as observed in the proof of Theorem 4), so the choice is a
+// quality/structure knob, not a correctness one.
+type Ordering int
+
+const (
+	// ByHeadIDDesc considers edges in decreasing order of the owner
+	// (head) node's ID — the variant GreedyPhysical that FDD emulates
+	// exactly (Theorem 4).
+	ByHeadIDDesc Ordering = iota + 1
+	// ByDemandDesc considers heavier edges first.
+	ByDemandDesc
+	// ByLengthDesc considers physically longer links first (they are the
+	// most interference-fragile, mirroring the MobiCom 2006 heuristic).
+	ByLengthDesc
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case ByHeadIDDesc:
+		return "head-id-desc"
+	case ByDemandDesc:
+		return "demand-desc"
+	case ByLengthDesc:
+		return "length-desc"
+	default:
+		return fmt.Sprintf("ordering(%d)", int(o))
+	}
+}
+
+// orderEdges returns the indices of links in scheduling order.
+func orderEdges(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering) []int {
+	idx := make([]int, len(links))
+	for i := range idx {
+		idx[i] = i
+	}
+	switch ord {
+	case ByDemandDesc:
+		sort.SliceStable(idx, func(a, b int) bool {
+			if demands[idx[a]] != demands[idx[b]] {
+				return demands[idx[a]] > demands[idx[b]]
+			}
+			return links[idx[a]].From > links[idx[b]].From
+		})
+	case ByLengthDesc:
+		sort.SliceStable(idx, func(a, b int) bool {
+			// Longer link <=> smaller direct gain.
+			ga := ch.Gain(links[idx[a]].From, links[idx[a]].To)
+			gb := ch.Gain(links[idx[b]].From, links[idx[b]].To)
+			if ga != gb {
+				return ga < gb
+			}
+			return links[idx[a]].From > links[idx[b]].From
+		})
+	default: // ByHeadIDDesc
+		sort.SliceStable(idx, func(a, b int) bool {
+			return links[idx[a]].From > links[idx[b]].From
+		})
+	}
+	return idx
+}
+
+// GreedyPhysical computes a feasible schedule with the centralized greedy
+// algorithm of the MobiCom 2006 paper: edges are considered in the given
+// order; each edge is placed into the first demands[i] slots in which adding
+// it keeps the slot feasible, appending new slots when needed. The returned
+// schedule always satisfies Verify against the same inputs.
+func GreedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
+	return greedyPhysical(ch, links, demands, ord, phys.NewSlotChecker)
+}
+
+// GreedyPhysicalDataOnly is GreedyPhysical with the ACK sub-slot inequality
+// disabled (ablation: the original Gupta-Kumar physical model without the
+// paper's link-layer-reliability extension). Its schedules may fail Verify
+// under the full model; CountInfeasibleSlots quantifies by how much.
+func GreedyPhysicalDataOnly(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
+	return greedyPhysical(ch, links, demands, ord, phys.NewSlotCheckerDataOnly)
+}
+
+func greedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering, newChecker func(*phys.Channel) *phys.SlotChecker) (*Schedule, error) {
+	if len(links) != len(demands) {
+		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
+	}
+	for i, l := range links {
+		if !ch.FeasibleSet([]phys.Link{l}) {
+			return nil, fmt.Errorf("sched: link %v alone is infeasible; no schedule exists", l)
+		}
+		if demands[i] < 0 {
+			return nil, fmt.Errorf("sched: link %v has negative demand %d", l, demands[i])
+		}
+	}
+
+	s := NewSchedule()
+	var checkers []*phys.SlotChecker
+	for _, ei := range orderEdges(ch, links, demands, ord) {
+		l := links[ei]
+		remaining := demands[ei]
+		for slot := 0; remaining > 0; slot++ {
+			if slot == len(checkers) {
+				checkers = append(checkers, newChecker(ch))
+			}
+			if checkers[slot].CanAdd(l) {
+				checkers[slot].Add(l)
+				s.AddToSlot(slot, l)
+				remaining--
+			}
+		}
+	}
+	// Drop trailing empty slots (possible only if all demands were zero).
+	for s.Length() > 0 && len(s.slots[s.Length()-1]) == 0 {
+		s.slots = s.slots[:s.Length()-1]
+	}
+	return s, nil
+}
+
+// LocalizedGreedy is GreedyPhysical restricted to k-hop-local information:
+// when deciding whether edge e fits a slot, it only accounts for the
+// interference of already-scheduled links within the k-hop neighborhood of e
+// (Definition 5), exactly the class of algorithms Theorem 1 proves cannot
+// always produce feasible schedules. It exists to demonstrate the theorem:
+// its output may fail Verify.
+func LocalizedGreedy(ch *phys.Channel, comm *graph.Graph, links []phys.Link, demands []int, k int, ord Ordering) (*Schedule, error) {
+	if len(links) != len(demands) {
+		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
+	}
+	edges := make([]graph.Edge, len(links))
+	for i, l := range links {
+		edges[i] = graph.Edge{U: l.From, V: l.To}
+	}
+	// Precompute each link's k-neighborhood as a set of link indices.
+	neighborhood := make([]map[int]bool, len(links))
+	for i := range links {
+		nb := graph.LinkKNeighborhood(comm, edges, i, k)
+		set := make(map[int]bool, len(nb))
+		for _, j := range nb {
+			set[j] = true
+		}
+		neighborhood[i] = set
+	}
+
+	s := NewSchedule()
+	// For each slot, remember which link indices it holds.
+	var slotLinks [][]int
+	for _, ei := range orderEdges(ch, links, demands, ord) {
+		remaining := demands[ei]
+		for slot := 0; remaining > 0; slot++ {
+			if slot == len(slotLinks) {
+				slotLinks = append(slotLinks, nil)
+			}
+			if localFits(ch, links, neighborhood, slotLinks[slot], ei) {
+				slotLinks[slot] = append(slotLinks[slot], ei)
+				s.AddToSlot(slot, links[ei])
+				remaining--
+			}
+		}
+	}
+	for s.Length() > 0 && len(s.slots[s.Length()-1]) == 0 {
+		s.slots = s.slots[:s.Length()-1]
+	}
+	return s, nil
+}
+
+// localFits checks slot feasibility seen through ei's k-hop keyhole: only
+// in-neighborhood occupants are visible, both for ei's own SINR and for the
+// occupants' re-check.
+func localFits(ch *phys.Channel, links []phys.Link, neighborhood []map[int]bool, occupants []int, ei int) bool {
+	visible := make([]phys.Link, 0, len(occupants)+1)
+	for _, oi := range occupants {
+		if neighborhood[ei][oi] {
+			visible = append(visible, links[oi])
+		} else if links[ei].SharesEndpoint(links[oi]) {
+			// Primary conflicts are always local knowledge.
+			return false
+		}
+	}
+	visible = append(visible, links[ei])
+	return ch.FeasibleSet(visible)
+}

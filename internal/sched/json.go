@@ -1,0 +1,46 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"scream/internal/phys"
+)
+
+// scheduleJSON is the wire form of a Schedule: one array of [from, to]
+// pairs per slot.
+type scheduleJSON struct {
+	Slots [][][2]int `json:"slots"`
+}
+
+// MarshalJSON implements json.Marshaler. The encoding is stable and
+// human-inspectable: {"slots": [[[0,1],[5,6]], [[2,3]]]}.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	out := scheduleJSON{Slots: make([][][2]int, len(s.slots))}
+	for i, slot := range s.slots {
+		out.Slots[i] = make([][2]int, len(slot))
+		for j, l := range slot {
+			out.Slots[i][j] = [2]int{l.From, l.To}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var in scheduleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("sched: decode schedule: %w", err)
+	}
+	s.slots = make([][]phys.Link, len(in.Slots))
+	for i, slot := range in.Slots {
+		s.slots[i] = make([]phys.Link, len(slot))
+		for j, pair := range slot {
+			if pair[0] < 0 || pair[1] < 0 {
+				return fmt.Errorf("sched: slot %d entry %d has negative node id", i, j)
+			}
+			s.slots[i][j] = phys.Link{From: pair[0], To: pair[1]}
+		}
+	}
+	return nil
+}

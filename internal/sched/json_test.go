@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"encoding/json"
+	"testing"
+
+	"scream/internal/phys"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := NewSchedule()
+	s.AppendSlot([]phys.Link{{From: 0, To: 1}, {From: 5, To: 6}})
+	s.AppendSlot([]phys.Link{{From: 2, To: 3}})
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"slots":[[[0,1],[5,6]],[[2,3]]]}`
+	if string(data) != want {
+		t.Errorf("encoding = %s, want %s", data, want)
+	}
+
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(&back) {
+		t.Error("round trip changed the schedule")
+	}
+}
+
+func TestScheduleJSONRoundTripRealSchedule(t *testing.T) {
+	net, links, demands := testMesh(t, 5, 3)
+	s, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(&back) {
+		t.Error("round trip changed a real schedule")
+	}
+	// The decoded schedule must still verify.
+	if err := back.Verify(net.Channel, links, demands); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleJSONErrors(t *testing.T) {
+	var s Schedule
+	if err := json.Unmarshal([]byte(`{"slots":[[[0,-1]]]}`), &s); err == nil {
+		t.Error("negative node id should fail")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &s); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestScheduleJSONEmpty(t *testing.T) {
+	s := NewSchedule()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Length() != 0 {
+		t.Error("empty schedule round trip broken")
+	}
+}

@@ -1,0 +1,374 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scream/internal/phys"
+	"scream/internal/route"
+	"scream/internal/topo"
+	"scream/internal/traffic"
+)
+
+// testMesh builds a small grid mesh with a routing forest and demands, and
+// returns the channel, forest links and per-link demands.
+func testMesh(t testing.TB, dim int, seed int64) (*topo.Network, []phys.Link, []int) {
+	t.Helper()
+	net, err := topo.NewGrid(topo.GridConfig{Rows: dim, Cols: dim, Step: 30, Params: topo.DefaultParams()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f, err := route.BuildForest(net.Comm, []int{0}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeDemand, err := traffic.Uniform(net.NumNodes(), 1, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := f.AggregateDemand(nodeDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := f.Links()
+	demands := make([]int, len(links))
+	for i, l := range links {
+		demands[i] = agg[l.From]
+	}
+	return net, links, demands
+}
+
+func TestScheduleBasics(t *testing.T) {
+	s := NewSchedule()
+	if s.Length() != 0 {
+		t.Fatal("new schedule should be empty")
+	}
+	s.AppendSlot([]phys.Link{{From: 0, To: 1}})
+	s.AddToSlot(2, phys.Link{From: 2, To: 3})
+	if s.Length() != 3 {
+		t.Errorf("Length = %d, want 3", s.Length())
+	}
+	if s.TotalTransmissions() != 2 {
+		t.Errorf("TotalTransmissions = %d, want 2", s.TotalTransmissions())
+	}
+	if len(s.Slot(1)) != 0 {
+		t.Error("middle slot should be empty")
+	}
+}
+
+func TestAppendSlotCopies(t *testing.T) {
+	s := NewSchedule()
+	links := []phys.Link{{From: 0, To: 1}}
+	s.AppendSlot(links)
+	links[0] = phys.Link{From: 9, To: 9}
+	if s.Slot(0)[0] != (phys.Link{From: 0, To: 1}) {
+		t.Error("AppendSlot must copy its argument")
+	}
+}
+
+func TestScheduleEqual(t *testing.T) {
+	a, b := NewSchedule(), NewSchedule()
+	a.AppendSlot([]phys.Link{{From: 0, To: 1}, {From: 2, To: 3}})
+	b.AppendSlot([]phys.Link{{From: 2, To: 3}, {From: 0, To: 1}}) // same set, different order
+	if !a.Equal(b) {
+		t.Error("slot order within a slot must not matter")
+	}
+	b.AppendSlot([]phys.Link{{From: 4, To: 5}})
+	if a.Equal(b) {
+		t.Error("different lengths must not be equal")
+	}
+	c := NewSchedule()
+	c.AppendSlot([]phys.Link{{From: 0, To: 1}, {From: 4, To: 5}})
+	if a.Equal(c) {
+		t.Error("different slot contents must not be equal")
+	}
+}
+
+func TestLinearAndImprovement(t *testing.T) {
+	if LinearLength([]int{3, 4, 5}) != 12 {
+		t.Error("LinearLength wrong")
+	}
+	if got := ImprovementOverLinear(6, 12); got != 50 {
+		t.Errorf("Improvement = %v, want 50", got)
+	}
+	if got := ImprovementOverLinear(12, 12); got != 0 {
+		t.Errorf("Improvement = %v, want 0", got)
+	}
+	if got := ImprovementOverLinear(5, 0); got != 0 {
+		t.Errorf("zero demand improvement = %v, want 0", got)
+	}
+}
+
+func TestGreedyPhysicalVerifies(t *testing.T) {
+	net, links, demands := testMesh(t, 5, 7)
+	for _, ord := range []Ordering{ByHeadIDDesc, ByDemandDesc, ByLengthDesc} {
+		s, err := GreedyPhysical(net.Channel, links, demands, ord)
+		if err != nil {
+			t.Fatalf("%v: %v", ord, err)
+		}
+		if err := s.Verify(net.Channel, links, demands); err != nil {
+			t.Fatalf("%v: schedule fails verification: %v", ord, err)
+		}
+		if s.Length() > LinearLength(demands) {
+			t.Errorf("%v: greedy longer than linear (%d > %d)", ord, s.Length(), LinearLength(demands))
+		}
+		if s.Length() == 0 {
+			t.Errorf("%v: empty schedule for positive demand", ord)
+		}
+	}
+}
+
+func TestGreedyPhysicalBeatsLinear(t *testing.T) {
+	// On a 6x6 grid there is real spatial reuse to find.
+	net, links, demands := testMesh(t, 6, 3)
+	s, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := ImprovementOverLinear(s.Length(), LinearLength(demands))
+	if imp <= 0 {
+		t.Errorf("expected positive improvement on a 6x6 grid, got %.1f%%", imp)
+	}
+	t.Logf("6x6 grid improvement over linear: %.1f%% (len %d vs %d)", imp, s.Length(), LinearLength(demands))
+}
+
+func TestGreedyPhysicalZeroDemand(t *testing.T) {
+	net, links, demands := testMesh(t, 4, 1)
+	for i := range demands {
+		demands[i] = 0
+	}
+	s, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != 0 {
+		t.Errorf("zero demand should give empty schedule, got %d slots", s.Length())
+	}
+	_ = links
+}
+
+func TestGreedyPhysicalErrors(t *testing.T) {
+	net, links, demands := testMesh(t, 4, 1)
+	if _, err := GreedyPhysical(net.Channel, links, demands[:1], ByHeadIDDesc); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	demands[0] = -1
+	if _, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc); err == nil {
+		t.Error("negative demand should fail")
+	}
+	// An infeasible lone link (out of range) must be rejected up front.
+	bad := append([]phys.Link(nil), links...)
+	bad[0] = phys.Link{From: 0, To: net.NumNodes() - 1}
+	demands[0] = 1
+	if !net.Channel.LinkUp(0, net.NumNodes()-1) {
+		if _, err := GreedyPhysical(net.Channel, bad, demands, ByHeadIDDesc); err == nil {
+			t.Error("unschedulable link should fail")
+		}
+	}
+}
+
+func TestGreedyHeadIDOrderIsDeterministic(t *testing.T) {
+	net, links, demands := testMesh(t, 5, 9)
+	a, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("greedy must be deterministic")
+	}
+}
+
+func TestOrderEdges(t *testing.T) {
+	net, _, _ := testMesh(t, 4, 1)
+	links := []phys.Link{{From: 1, To: 0}, {From: 3, To: 0}, {From: 2, To: 0}}
+	demands := []int{5, 1, 3}
+	gotID := orderEdges(net.Channel, links, demands, ByHeadIDDesc)
+	if links[gotID[0]].From != 3 || links[gotID[1]].From != 2 || links[gotID[2]].From != 1 {
+		t.Errorf("head-id order wrong: %v", gotID)
+	}
+	gotD := orderEdges(net.Channel, links, demands, ByDemandDesc)
+	if demands[gotD[0]] != 5 || demands[gotD[1]] != 3 || demands[gotD[2]] != 1 {
+		t.Errorf("demand order wrong: %v", gotD)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	if ByHeadIDDesc.String() != "head-id-desc" || ByDemandDesc.String() != "demand-desc" ||
+		ByLengthDesc.String() != "length-desc" || Ordering(99).String() != "ordering(99)" {
+		t.Error("Ordering.String broken")
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	net, links, demands := testMesh(t, 4, 2)
+	s, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under-delivery: remove one transmission.
+	under := NewSchedule()
+	for i := 0; i < s.Length(); i++ {
+		if i == 0 {
+			under.AppendSlot(s.Slot(i)[1:])
+		} else {
+			under.AppendSlot(s.Slot(i))
+		}
+	}
+	if len(s.Slot(0)) > 1 {
+		if err := under.Verify(net.Channel, links, demands); err == nil {
+			t.Error("under-delivery must fail verification")
+		}
+	}
+	// Unknown link.
+	alien := NewSchedule()
+	alien.AppendSlot([]phys.Link{{From: 0, To: 1}})
+	if err := alien.Verify(net.Channel, nil, nil); err == nil {
+		t.Error("unknown link must fail verification")
+	}
+	// Empty slot.
+	empty := NewSchedule()
+	empty.AppendSlot(nil)
+	if err := empty.Verify(net.Channel, nil, nil); err == nil {
+		t.Error("empty slot must fail verification")
+	}
+	// Infeasible slot: two primary-conflicting links.
+	conflict := NewSchedule()
+	l1, l2 := links[0], phys.Link{From: links[0].To, To: links[0].From}
+	conflict.AppendSlot([]phys.Link{l1, l2})
+	if err := conflict.Verify(net.Channel, []phys.Link{l1, l2}, []int{1, 1}); err == nil {
+		t.Error("conflicting slot must fail verification")
+	}
+}
+
+// TestTheorem1LocalizedInfeasible builds the paper's Theorem 1 situation: a
+// long line network where every link is feasible with respect to everything a
+// k-hop-localized scheduler can see, yet the globally accumulated
+// interference makes the produced schedule infeasible. GreedyPhysical (the
+// global algorithm) on the same instance always verifies.
+func TestTheorem1LocalizedInfeasible(t *testing.T) {
+	p := topo.DefaultParams()
+	found := false
+	for _, slack := range []float64{1.02, 1.03, 1.05, 1.08} {
+		for _, sep := range []int{4, 5, 6, 8} {
+			n := 140
+			net, err := topo.NewLine(n, 25, p, slack)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One short link every sep nodes, all pointing right.
+			var links []phys.Link
+			for i := 0; i+1 < n; i += sep {
+				links = append(links, phys.Link{From: i, To: i + 1})
+			}
+			demands := make([]int, len(links))
+			for i := range demands {
+				demands[i] = 1
+			}
+			k := sep - 2 // strictly less hops than the link spacing
+			if k < 1 {
+				k = 1
+			}
+			local, err := LocalizedGreedy(net.Channel, net.Comm, links, demands, k, ByHeadIDDesc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			global, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := global.Verify(net.Channel, links, demands); err != nil {
+				t.Fatalf("global greedy must verify: %v", err)
+			}
+			if err := local.Verify(net.Channel, links, demands); err != nil {
+				t.Logf("slack=%v sep=%d k=%d: localized schedule infeasible as Theorem 1 predicts: %v",
+					slack, sep, k, err)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no parameter combination exhibited the Theorem 1 failure; construction needs retuning")
+	}
+}
+
+func TestLocalizedGreedyLargeKMatchesGlobal(t *testing.T) {
+	// With k at least the network diameter, the localized algorithm sees
+	// everything and must produce a feasible schedule.
+	net, links, demands := testMesh(t, 4, 5)
+	s, err := LocalizedGreedy(net.Channel, net.Comm, links, demands, 64, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(net.Channel, links, demands); err != nil {
+		t.Errorf("full-information localized greedy must verify: %v", err)
+	}
+	g, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(g) {
+		t.Error("full-information localized greedy should equal global greedy")
+	}
+}
+
+func TestGreedySlotsAreMaximalUnderOrdering(t *testing.T) {
+	// Greedy invariant: a link with remaining demand after slot t could not
+	// have fit in slot t. Spot-check: every scheduled placement is in the
+	// earliest feasible slot given earlier-ordered placements. We verify a
+	// weaker but sharp property: slot 0 is maximal (no unscheduled
+	// repetition of any scheduled link can be added feasibly).
+	net, links, demands := testMesh(t, 5, 11)
+	s, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot0 := s.Slot(0)
+	for i, l := range links {
+		if demands[i] == 0 {
+			continue
+		}
+		in := false
+		for _, m := range slot0 {
+			if m == l {
+				in = true
+				break
+			}
+		}
+		if in {
+			continue
+		}
+		withL := append(append([]phys.Link(nil), slot0...), l)
+		if net.Channel.FeasibleSet(withL) {
+			t.Errorf("slot 0 not maximal: link %v (demand %d) fits", l, demands[i])
+		}
+	}
+}
+
+func TestImprovementMonotoneInDemandScale(t *testing.T) {
+	// Scaling all demands by c scales both greedy and linear lengths by
+	// about c, keeping improvement roughly constant.
+	net, links, demands := testMesh(t, 5, 13)
+	s1, err := GreedyPhysical(net.Channel, links, demands, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := make([]int, len(demands))
+	for i, d := range demands {
+		scaled[i] = 3 * d
+	}
+	s3, err := GreedyPhysical(net.Channel, links, scaled, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1 := ImprovementOverLinear(s1.Length(), LinearLength(demands))
+	i3 := ImprovementOverLinear(s3.Length(), LinearLength(scaled))
+	if math.Abs(i1-i3) > 10 {
+		t.Errorf("improvement should be roughly scale-invariant: %.1f vs %.1f", i1, i3)
+	}
+}

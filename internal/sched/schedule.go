@@ -1,0 +1,145 @@
+// Package sched defines STDMA schedules, verifies them against the physical
+// interference model, and implements the centralized GreedyPhysical baseline
+// of Brar/Blough/Santi (MobiCom 2006) that FDD provably emulates (Theorem 4),
+// plus a deliberately localized greedy used to demonstrate Theorem 1.
+package sched
+
+import (
+	"fmt"
+
+	"scream/internal/phys"
+)
+
+// Schedule is an STDMA schedule: an ordered list of slots, each holding the
+// set of directed links that transmit concurrently in that slot.
+type Schedule struct {
+	slots [][]phys.Link
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// Length returns the number of slots — the quantity the paper minimizes.
+func (s *Schedule) Length() int { return len(s.slots) }
+
+// Slot returns the links of slot i. The returned slice is owned by the
+// schedule and must not be modified.
+func (s *Schedule) Slot(i int) []phys.Link { return s.slots[i] }
+
+// AppendSlot adds a slot holding the given links (copied).
+func (s *Schedule) AppendSlot(links []phys.Link) {
+	cp := make([]phys.Link, len(links))
+	copy(cp, links)
+	s.slots = append(s.slots, cp)
+}
+
+// AddToSlot places l in slot i, growing the schedule as needed.
+func (s *Schedule) AddToSlot(i int, l phys.Link) {
+	for len(s.slots) <= i {
+		s.slots = append(s.slots, nil)
+	}
+	s.slots[i] = append(s.slots[i], l)
+}
+
+// TotalTransmissions returns the number of (link, slot) placements.
+func (s *Schedule) TotalTransmissions() int {
+	total := 0
+	for _, slot := range s.slots {
+		total += len(slot)
+	}
+	return total
+}
+
+// Equal reports whether two schedules are slot-for-slot identical, treating
+// each slot as a set (order within a slot is irrelevant).
+func (s *Schedule) Equal(o *Schedule) bool {
+	if s.Length() != o.Length() {
+		return false
+	}
+	for i := range s.slots {
+		if len(s.slots[i]) != len(o.slots[i]) {
+			return false
+		}
+		set := make(map[phys.Link]bool, len(s.slots[i]))
+		for _, l := range s.slots[i] {
+			set[l] = true
+		}
+		for _, l := range o.slots[i] {
+			if !set[l] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Verify checks that the schedule is feasible under the physical
+// interference model of channel ch and that it delivers exactly the given
+// demands: links[i] appears in exactly demands[i] slots. It returns nil on
+// success and a descriptive error on the first violation.
+func (s *Schedule) Verify(ch *phys.Channel, links []phys.Link, demands []int) error {
+	if len(links) != len(demands) {
+		return fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
+	}
+	for i, slot := range s.slots {
+		if len(slot) == 0 {
+			return fmt.Errorf("sched: slot %d is empty", i)
+		}
+		if !ch.FeasibleSet(slot) {
+			return fmt.Errorf("sched: slot %d is infeasible under the physical interference model: %v", i, slot)
+		}
+	}
+	want := make(map[phys.Link]int, len(links))
+	for i, l := range links {
+		want[l] += demands[i]
+	}
+	got := make(map[phys.Link]int)
+	for _, slot := range s.slots {
+		for _, l := range slot {
+			got[l]++
+		}
+	}
+	for l, w := range want {
+		if got[l] != w {
+			return fmt.Errorf("sched: link %v scheduled %d times, demand is %d", l, got[l], w)
+		}
+	}
+	for l := range got {
+		if _, ok := want[l]; !ok {
+			return fmt.Errorf("sched: link %v scheduled but has no demand", l)
+		}
+	}
+	return nil
+}
+
+// CountInfeasibleSlots returns how many slots of s violate the full
+// physical interference model (data + ACK inequalities) of ch.
+func CountInfeasibleSlots(ch *phys.Channel, s *Schedule) int {
+	bad := 0
+	for i := 0; i < s.Length(); i++ {
+		if !ch.FeasibleSet(s.Slot(i)) {
+			bad++
+		}
+	}
+	return bad
+}
+
+// LinearLength returns the length of the fully serialized schedule (one
+// transmission per slot) — the paper's baseline for the "%age improvement
+// over linear" metric of Figures 6 and 7.
+func LinearLength(demands []int) int {
+	total := 0
+	for _, d := range demands {
+		total += d
+	}
+	return total
+}
+
+// ImprovementOverLinear returns the percentage improvement of a schedule of
+// the given length over the serialized schedule: 100*(TD - L)/TD.
+func ImprovementOverLinear(length, totalDemand int) float64 {
+	if totalDemand == 0 {
+		return 0
+	}
+	return 100 * float64(totalDemand-length) / float64(totalDemand)
+}

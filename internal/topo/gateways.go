@@ -1,0 +1,52 @@
+package topo
+
+import (
+	"fmt"
+
+	"scream/internal/geom"
+)
+
+// GatewaysNearPoints returns, for each target point, the distinct network
+// node closest to it — how an operator places k gateways at planned
+// locations. A node is used at most once; ties break toward lower IDs.
+func GatewaysNearPoints(net *Network, targets []geom.Point) ([]int, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("topo: no gateway targets")
+	}
+	if len(targets) > net.NumNodes() {
+		return nil, fmt.Errorf("topo: %d gateway targets for %d nodes", len(targets), net.NumNodes())
+	}
+	used := make(map[int]bool, len(targets))
+	out := make([]int, 0, len(targets))
+	for _, tgt := range targets {
+		best, bestDist := -1, 0.0
+		for _, nd := range net.Nodes {
+			if used[nd.ID] {
+				continue
+			}
+			d := nd.Pos.Dist(tgt)
+			if best < 0 || d < bestDist {
+				best, bestDist = nd.ID, d
+			}
+		}
+		used[best] = true
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+// QuadrantGateways places one gateway near the center of each quadrant of
+// the deployment region — the 4-gateway layout of the paper's evaluation
+// (64 nodes, 4 gateways, Section VI-A).
+func QuadrantGateways(net *Network) ([]int, error) {
+	r := net.Region
+	cx, cy := r.Center().X, r.Center().Y
+	qx1, qx2 := (r.MinX+cx)/2, (cx+r.MaxX)/2
+	qy1, qy2 := (r.MinY+cy)/2, (cy+r.MaxY)/2
+	return GatewaysNearPoints(net, []geom.Point{
+		{X: qx1, Y: qy1},
+		{X: qx2, Y: qy1},
+		{X: qx1, Y: qy2},
+		{X: qx2, Y: qy2},
+	})
+}

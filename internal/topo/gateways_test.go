@@ -1,0 +1,85 @@
+package topo
+
+import (
+	"testing"
+
+	"scream/internal/geom"
+)
+
+func TestGatewaysNearPoints(t *testing.T) {
+	net, err := NewGrid(GridConfig{Rows: 4, Cols: 4, Step: 10, Params: DefaultParams()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gws, err := GatewaysNearPoints(net, []geom.Point{{X: 0, Y: 0}, {X: 30, Y: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gws) != 2 || gws[0] != 0 || gws[1] != 15 {
+		t.Errorf("gateways = %v, want [0 15]", gws)
+	}
+}
+
+func TestGatewaysNearPointsDistinct(t *testing.T) {
+	net, err := NewGrid(GridConfig{Rows: 2, Cols: 2, Step: 10, Params: DefaultParams()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both targets nearest to node 0: the second must pick another node.
+	gws, err := GatewaysNearPoints(net, []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gws[0] == gws[1] {
+		t.Errorf("gateways must be distinct, got %v", gws)
+	}
+}
+
+func TestGatewaysNearPointsErrors(t *testing.T) {
+	net, err := NewGrid(GridConfig{Rows: 2, Cols: 2, Step: 10, Params: DefaultParams()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GatewaysNearPoints(net, nil); err == nil {
+		t.Error("no targets should fail")
+	}
+	many := make([]geom.Point, 5)
+	if _, err := GatewaysNearPoints(net, many); err == nil {
+		t.Error("more targets than nodes should fail")
+	}
+}
+
+func TestQuadrantGateways(t *testing.T) {
+	net, err := NewGrid(GridConfig{Rows: 8, Cols: 8, Step: 10, Params: DefaultParams()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gws, err := QuadrantGateways(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gws) != 4 {
+		t.Fatalf("want 4 gateways, got %v", gws)
+	}
+	seen := map[int]bool{}
+	quadrant := map[int]bool{}
+	c := net.Region.Center()
+	for _, g := range gws {
+		if seen[g] {
+			t.Fatalf("duplicate gateway %d", g)
+		}
+		seen[g] = true
+		p := net.Nodes[g].Pos
+		q := 0
+		if p.X > c.X {
+			q |= 1
+		}
+		if p.Y > c.Y {
+			q |= 2
+		}
+		if quadrant[q] {
+			t.Errorf("two gateways in quadrant %d: %v", q, gws)
+		}
+		quadrant[q] = true
+	}
+}
