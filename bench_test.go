@@ -199,6 +199,30 @@ func BenchmarkAblationFDDSeal(b *testing.B) {
 	}
 }
 
+// BenchmarkFigEngineParallel regenerates Figure 6 (quick) with experiment
+// cells fanned across all cores by the cell-grid engine; compare against
+// BenchmarkFigEngineSerial to read off the parallel speedup. The engine
+// guarantees both produce identical series (see TestEngineDeterminism).
+func BenchmarkFigEngineParallel(b *testing.B) {
+	opts := ExperimentOptions{Quick: true, Seeds: 2, Workers: 0} // 0 = GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig6(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigEngineSerial is the single-worker baseline for
+// BenchmarkFigEngineParallel.
+func BenchmarkFigEngineSerial(b *testing.B) {
+	opts := ExperimentOptions{Quick: true, Seeds: 2, Workers: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig6(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Micro-benchmarks for the primitives themselves.
 
 func BenchmarkGreedyPhysical64(b *testing.B) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figgen [-fig all|4|5|6|7|8|9|ablations] [-quick] [-seeds n] [-ascii]
+//	figgen [-fig all|4|5|6|7|8|9|ablations] [-quick] [-seeds n] [-workers n] [-ascii]
 //
 // Output is one TSV table per figure on stdout (optionally followed by an
 // ASCII rendering of the curves).
@@ -25,20 +25,21 @@ type runner struct {
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, 8, 9, or ablations")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		seeds = flag.Int("seeds", 0, "independent runs per point (0 = default)")
-		ascii = flag.Bool("ascii", true, "also render ASCII charts")
+		fig     = flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, 8, 9, or ablations")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seeds   = flag.Int("seeds", 0, "independent runs per point (0 = default)")
+		workers = flag.Int("workers", 0, "concurrent experiment workers (0 = GOMAXPROCS); output is identical for any value")
+		ascii   = flag.Bool("ascii", true, "also render ASCII charts")
 	)
 	flag.Parse()
-	if err := run(*fig, *quick, *seeds, *ascii); err != nil {
+	if err := run(*fig, *quick, *seeds, *workers, *ascii); err != nil {
 		fmt.Fprintln(os.Stderr, "figgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which string, quick bool, seeds int, ascii bool) error {
-	opts := scream.ExperimentOptions{Quick: quick, Seeds: seeds}
+func run(which string, quick bool, seeds, workers int, ascii bool) error {
+	opts := scream.ExperimentOptions{Quick: quick, Seeds: seeds, Workers: workers}
 	figures := map[string][]runner{
 		"4": {{"Fig4", scream.Fig4}},
 		"5": {{"Fig5", scream.Fig5}},

@@ -3,19 +3,25 @@ package main
 import "testing"
 
 func TestRunSingleFigure(t *testing.T) {
-	if err := run("5", true, 1, false); err != nil {
+	if err := run("5", true, 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithASCII(t *testing.T) {
-	if err := run("6", true, 1, true); err != nil {
+	if err := run("6", true, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelWorkers(t *testing.T) {
+	if err := run("4", true, 1, 4, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run("42", true, 1, false); err == nil {
+	if err := run("42", true, 1, 0, false); err == nil {
 		t.Error("unknown figure should fail")
 	}
 }

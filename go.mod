@@ -1,0 +1,3 @@
+module scream
+
+go 1.22

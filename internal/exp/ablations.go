@@ -22,26 +22,20 @@ func AblationPDDProbability(opts Options) (*stats.Figure, error) {
 		ps = []float64{0.2, 0.5, 0.8}
 	}
 	tm := core.DefaultTiming()
-	imp := fig.AddSeries("PDD improvement")
-	execT := fig.AddSeries("PDD exec time (s)")
-	for _, p := range ps {
-		impS := stats.NewSample(opts.seeds())
-		timeS := stats.NewSample(opts.seeds())
-		for seed := 0; seed < opts.seeds(); seed++ {
-			s, err := GridScenario(ablationDensity, 33+int64(seed))
-			if err != nil {
-				return nil, err
-			}
-			i, res, err := RunProtocol(s, core.PDD, p, tm, 0, int64(seed))
-			if err != nil {
-				return nil, err
-			}
-			impS.Add(i)
-			timeS.Add(res.ExecTime.Seconds())
+	names := []string{"PDD improvement", "PDD exec time (s)"}
+	err := runGrid(fig, ps, names, opts, func(xi, si int) ([]float64, error) {
+		s, err := GridScenario(ablationDensity, 33+int64(si))
+		if err != nil {
+			return nil, err
 		}
-		is, ts := impS.Summarize(), timeS.Summarize()
-		imp.Append(p, is.Mean, is.CI95)
-		execT.Append(p, ts.Mean, ts.CI95)
+		imp, res, err := RunProtocol(s, core.PDD, ps[xi], tm, 0, int64(si))
+		if err != nil {
+			return nil, err
+		}
+		return []float64{imp, res.ExecTime.Seconds()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -51,32 +45,28 @@ func AblationPDDProbability(opts Options) (*stats.Figure, error) {
 func AblationGreedyOrdering(opts Options) (*stats.Figure, error) {
 	fig := stats.NewFigure("Ablation: GreedyPhysical edge ordering", "density (nodes/km^2)", "% improvement over linear")
 	orders := []sched.Ordering{sched.ByHeadIDDesc, sched.ByDemandDesc, sched.ByLengthDesc}
-	series := make([]*stats.Series, len(orders))
+	names := make([]string, len(orders))
 	for i, o := range orders {
-		series[i] = fig.AddSeries(o.String())
+		names[i] = o.String()
 	}
-	for _, density := range Densities(opts.Quick) {
-		samples := make([]*stats.Sample, len(orders))
-		for i := range samples {
-			samples[i] = stats.NewSample(opts.seeds())
+	xs := Densities(opts.Quick)
+	err := runGrid(fig, xs, names, opts, func(xi, si int) ([]float64, error) {
+		s, err := GridScenario(xs[xi], 55+int64(si))
+		if err != nil {
+			return nil, err
 		}
-		for seed := 0; seed < opts.seeds(); seed++ {
-			s, err := GridScenario(density, 55+int64(seed))
+		vals := make([]float64, len(orders))
+		for i, o := range orders {
+			sc, err := sched.GreedyPhysical(s.Net.Channel, s.Links, s.Demands, o)
 			if err != nil {
 				return nil, err
 			}
-			for i, o := range orders {
-				sc, err := sched.GreedyPhysical(s.Net.Channel, s.Links, s.Demands, o)
-				if err != nil {
-					return nil, err
-				}
-				samples[i].Add(sched.ImprovementOverLinear(sc.Length(), s.TotalDemand()))
-			}
+			vals[i] = sched.ImprovementOverLinear(sc.Length(), s.TotalDemand())
 		}
-		for i := range orders {
-			sum := samples[i].Summarize()
-			series[i].Append(density, sum.Mean, sum.CI95)
-		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -91,27 +81,24 @@ func AblationScreamK(opts Options) (*stats.Figure, error) {
 		multipliers = []float64{1, 2, 4}
 	}
 	tm := core.DefaultTiming()
-	series := fig.AddSeries("FDD exec time")
-	for _, m := range multipliers {
-		sample := stats.NewSample(opts.seeds())
-		for seed := 0; seed < opts.seeds(); seed++ {
-			s, err := GridScenario(ablationDensity, 66+int64(seed))
-			if err != nil {
-				return nil, err
-			}
-			id := s.Net.InterferenceDiameter()
-			k := int(float64(id) * m)
-			if k < id {
-				k = id
-			}
-			_, res, err := RunProtocol(s, core.FDD, 0, tm, k, int64(seed))
-			if err != nil {
-				return nil, err
-			}
-			sample.Add(res.ExecTime.Seconds())
+	err := runGrid(fig, multipliers, []string{"FDD exec time"}, opts, func(xi, si int) ([]float64, error) {
+		s, err := GridScenario(ablationDensity, 66+int64(si))
+		if err != nil {
+			return nil, err
 		}
-		sum := sample.Summarize()
-		series.Append(m, sum.Mean, sum.CI95)
+		id := s.Net.InterferenceDiameter()
+		k := int(float64(id) * multipliers[xi])
+		if k < id {
+			k = id
+		}
+		_, res, err := RunProtocol(s, core.FDD, 0, tm, k, int64(si))
+		if err != nil {
+			return nil, err
+		}
+		return []float64{res.ExecTime.Seconds()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -122,38 +109,37 @@ func AblationScreamK(opts Options) (*stats.Figure, error) {
 // ACK interference is accounted for.
 func AblationAckModel(opts Options) (*stats.Figure, error) {
 	fig := stats.NewFigure("Ablation: ACK sub-slot modelling", "density (nodes/km^2)", "value")
-	fullLen := fig.AddSeries("schedule length (full model)")
-	dataLen := fig.AddSeries("schedule length (data-only)")
-	badPct := fig.AddSeries("% data-only slots infeasible under full model")
-	for _, density := range Densities(opts.Quick) {
-		fullS := stats.NewSample(opts.seeds())
-		dataS := stats.NewSample(opts.seeds())
-		badS := stats.NewSample(opts.seeds())
-		for seed := 0; seed < opts.seeds(); seed++ {
-			s, err := GridScenario(density, 88+int64(seed))
-			if err != nil {
-				return nil, err
-			}
-			full, err := sched.GreedyPhysical(s.Net.Channel, s.Links, s.Demands, sched.ByHeadIDDesc)
-			if err != nil {
-				return nil, err
-			}
-			dataOnly, err := sched.GreedyPhysicalDataOnly(s.Net.Channel, s.Links, s.Demands, sched.ByHeadIDDesc)
-			if err != nil {
-				return nil, err
-			}
-			// Note: greedy packing is not monotone under constraint
-			// relaxation, so the data-only schedule is usually — but not
-			// always — the shorter one; the figure reports both.
-			fullS.Add(float64(full.Length()))
-			dataS.Add(float64(dataOnly.Length()))
-			bad := sched.CountInfeasibleSlots(s.Net.Channel, dataOnly)
-			badS.Add(100 * float64(bad) / float64(dataOnly.Length()))
+	names := []string{
+		"schedule length (full model)",
+		"schedule length (data-only)",
+		"% data-only slots infeasible under full model",
+	}
+	xs := Densities(opts.Quick)
+	err := runGrid(fig, xs, names, opts, func(xi, si int) ([]float64, error) {
+		s, err := GridScenario(xs[xi], 88+int64(si))
+		if err != nil {
+			return nil, err
 		}
-		f, d, b := fullS.Summarize(), dataS.Summarize(), badS.Summarize()
-		fullLen.Append(density, f.Mean, f.CI95)
-		dataLen.Append(density, d.Mean, d.CI95)
-		badPct.Append(density, b.Mean, b.CI95)
+		full, err := sched.GreedyPhysical(s.Net.Channel, s.Links, s.Demands, sched.ByHeadIDDesc)
+		if err != nil {
+			return nil, err
+		}
+		dataOnly, err := sched.GreedyPhysicalDataOnly(s.Net.Channel, s.Links, s.Demands, sched.ByHeadIDDesc)
+		if err != nil {
+			return nil, err
+		}
+		// Note: greedy packing is not monotone under constraint
+		// relaxation, so the data-only schedule is usually — but not
+		// always — the shorter one; the figure reports both.
+		bad := sched.CountInfeasibleSlots(s.Net.Channel, dataOnly)
+		return []float64{
+			float64(full.Length()),
+			float64(dataOnly.Length()),
+			100 * float64(bad) / float64(dataOnly.Length()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -162,45 +148,39 @@ func AblationAckModel(opts Options) (*stats.Figure, error) {
 // strictly less execution time.
 func AblationFDDSeal(opts Options) (*stats.Figure, error) {
 	fig := stats.NewFigure("Ablation: FDD slot sealing", "density (nodes/km^2)", "FDD execution time (s)")
-	normal := fig.AddSeries("paper seal")
-	asap := fig.AddSeries("ASAP seal")
 	tm := core.DefaultTiming()
-	for _, density := range Densities(opts.Quick) {
-		nS := stats.NewSample(opts.seeds())
-		aS := stats.NewSample(opts.seeds())
-		for seed := 0; seed < opts.seeds(); seed++ {
-			s, err := GridScenario(density, 44+int64(seed))
-			if err != nil {
-				return nil, err
-			}
-			id := s.Net.InterferenceDiameter()
-			run := func(asapSeal bool) (*core.Result, error) {
-				b, err := core.NewIdealBackend(s.Net.Channel, s.Net.Sens, id, tm, false)
-				if err != nil {
-					return nil, err
-				}
-				return core.Run(core.Config{
-					Variant: core.FDD, Links: s.Links, Demands: s.Demands,
-					Backend: b, ASAPSeal: asapSeal,
-				})
-			}
-			rn, err := run(false)
-			if err != nil {
-				return nil, err
-			}
-			ra, err := run(true)
-			if err != nil {
-				return nil, err
-			}
-			if !rn.Schedule.Equal(ra.Schedule) {
-				return nil, fmt.Errorf("ASAP seal changed the schedule at density %g seed %d", density, seed)
-			}
-			nS.Add(rn.ExecTime.Seconds())
-			aS.Add(ra.ExecTime.Seconds())
+	xs := Densities(opts.Quick)
+	err := runGrid(fig, xs, []string{"paper seal", "ASAP seal"}, opts, func(xi, si int) ([]float64, error) {
+		s, err := GridScenario(xs[xi], 44+int64(si))
+		if err != nil {
+			return nil, err
 		}
-		n, a := nS.Summarize(), aS.Summarize()
-		normal.Append(density, n.Mean, n.CI95)
-		asap.Append(density, a.Mean, a.CI95)
+		id := s.Net.InterferenceDiameter()
+		run := func(asapSeal bool) (*core.Result, error) {
+			b, err := core.NewIdealBackend(s.Net.Channel, s.Net.Sens, id, tm, false)
+			if err != nil {
+				return nil, err
+			}
+			return core.Run(core.Config{
+				Variant: core.FDD, Links: s.Links, Demands: s.Demands,
+				Backend: b, ASAPSeal: asapSeal,
+			})
+		}
+		rn, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		ra, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		if !rn.Schedule.Equal(ra.Schedule) {
+			return nil, fmt.Errorf("ASAP seal changed the schedule at density %g seed %d", xs[xi], si)
+		}
+		return []float64{rn.ExecTime.Seconds(), ra.ExecTime.Seconds()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

@@ -25,6 +25,10 @@ type Options struct {
 	Seeds int
 	// Quick shrinks sweeps and run lengths for use inside go test -bench.
 	Quick bool
+	// Workers is the number of goroutines the cell-grid engine fans
+	// experiment cells across (default runtime.GOMAXPROCS(0)). Output is
+	// bit-for-bit identical for any value; see engine.go.
+	Workers int
 }
 
 func (o Options) seeds() int {
@@ -170,32 +174,29 @@ type improvementCurve struct {
 
 func improvementFigure(title string, build func(density float64, seed int64) (*Scenario, error), curves []improvementCurve, opts Options) (*stats.Figure, error) {
 	fig := stats.NewFigure(title, "density (nodes/km^2)", "% improvement over linear")
-	series := make([]*stats.Series, len(curves))
+	xs := Densities(opts.Quick)
+	names := make([]string, len(curves))
 	for i, c := range curves {
-		series[i] = fig.AddSeries(c.name)
+		names[i] = c.name
 	}
-	for _, density := range Densities(opts.Quick) {
-		samples := make([]*stats.Sample, len(curves))
-		for i := range samples {
-			samples[i] = stats.NewSample(opts.seeds())
+	err := runGrid(fig, xs, names, opts, func(xi, si int) ([]float64, error) {
+		density := xs[xi]
+		s, err := build(density, int64(1000*density)+int64(si))
+		if err != nil {
+			return nil, err
 		}
-		for seed := 0; seed < opts.seeds(); seed++ {
-			s, err := build(density, int64(1000*density)+int64(seed))
+		vals := make([]float64, len(curves))
+		for i, c := range curves {
+			imp, err := c.run(s, int64(si))
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%s at density %g: %w", c.name, density, err)
 			}
-			for i, c := range curves {
-				imp, err := c.run(s, int64(seed))
-				if err != nil {
-					return nil, fmt.Errorf("%s at density %g: %w", c.name, density, err)
-				}
-				samples[i].Add(imp)
-			}
+			vals[i] = imp
 		}
-		for i := range curves {
-			sum := samples[i].Summarize()
-			series[i].Append(density, sum.Mean, sum.CI95)
-		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -266,34 +267,42 @@ func Fig8(opts Options) (*stats.Figure, error) {
 		{"FDD Diameter", core.FDD, 0, false},
 		{"PDD Diameter", core.PDD, 0.2, false},
 	}
-	for _, c := range curves {
-		series := fig.AddSeries(c.name)
-		for _, x := range sweep {
-			sample := stats.NewSample(opts.seeds())
-			for seed := 0; seed < opts.seeds(); seed++ {
-				s, err := GridScenario(fig8Density, 77+int64(seed))
-				if err != nil {
-					return nil, err
-				}
-				tm := core.DefaultTiming()
-				k := 0
-				if c.bySize {
-					tm.SMBytes = x
-				} else {
-					k = x
-					if id := s.Net.InterferenceDiameter(); k < id {
-						return nil, fmt.Errorf("fig8: K=%d below ID=%d; raise fig8Density", k, id)
-					}
-				}
-				_, res, err := RunProtocol(s, c.variant, c.p, tm, k, int64(seed))
-				if err != nil {
-					return nil, err
-				}
-				sample.Add(res.ExecTime.Seconds())
-			}
-			sum := sample.Summarize()
-			series.Append(float64(x), sum.Mean, sum.CI95)
+	xs := make([]float64, len(sweep))
+	for i, x := range sweep {
+		xs[i] = float64(x)
+	}
+	names := make([]string, len(curves))
+	for i, c := range curves {
+		names[i] = c.name
+	}
+	err := runGrid(fig, xs, names, opts, func(xi, si int) ([]float64, error) {
+		x := sweep[xi]
+		s, err := GridScenario(fig8Density, 77+int64(si))
+		if err != nil {
+			return nil, err
 		}
+		vals := make([]float64, len(curves))
+		for i, c := range curves {
+			tm := core.DefaultTiming()
+			k := 0
+			if c.bySize {
+				tm.SMBytes = x
+			} else {
+				k = x
+				if id := s.Net.InterferenceDiameter(); k < id {
+					return nil, fmt.Errorf("fig8: K=%d below ID=%d; raise fig8Density", k, id)
+				}
+			}
+			_, res, err := RunProtocol(s, c.variant, c.p, tm, k, int64(si))
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = res.ExecTime.Seconds()
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -314,26 +323,34 @@ func Fig9(opts Options) (*stats.Figure, error) {
 		variant core.Variant
 		p       float64
 	}
-	for _, c := range []curve{{"FDD", core.FDD, 0}, {"PDD p=0.2", core.PDD, 0.2}} {
-		series := fig.AddSeries(c.name)
-		for _, skew := range skews {
-			sample := stats.NewSample(opts.seeds())
-			for seed := 0; seed < opts.seeds(); seed++ {
-				s, err := GridScenario(fig8Density, 99+int64(seed))
-				if err != nil {
-					return nil, err
-				}
-				tm := core.DefaultTiming()
-				tm.SkewBound = skew
-				_, res, err := RunProtocol(s, c.variant, c.p, tm, 0, int64(seed))
-				if err != nil {
-					return nil, err
-				}
-				sample.Add(res.ExecTime.Seconds())
-			}
-			sum := sample.Summarize()
-			series.Append(skew.Seconds(), sum.Mean, sum.CI95)
+	curves := []curve{{"FDD", core.FDD, 0}, {"PDD p=0.2", core.PDD, 0.2}}
+	xs := make([]float64, len(skews))
+	for i, skew := range skews {
+		xs[i] = skew.Seconds()
+	}
+	names := make([]string, len(curves))
+	for i, c := range curves {
+		names[i] = c.name
+	}
+	err := runGrid(fig, xs, names, opts, func(xi, si int) ([]float64, error) {
+		s, err := GridScenario(fig8Density, 99+int64(si))
+		if err != nil {
+			return nil, err
 		}
+		vals := make([]float64, len(curves))
+		for i, c := range curves {
+			tm := core.DefaultTiming()
+			tm.SkewBound = skews[xi]
+			_, res, err := RunProtocol(s, c.variant, c.p, tm, 0, int64(si))
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = res.ExecTime.Seconds()
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

@@ -18,62 +18,63 @@ import (
 // that balanced trees reduce the aggregated traffic term of the complexity.
 func AblationBalancedRouting(opts Options) (*stats.Figure, error) {
 	fig := stats.NewFigure("Ablation: routing-forest balancing", "density (nodes/km^2)", "slots")
-	tdPlain := fig.AddSeries("TD (random tie-break)")
-	tdBal := fig.AddSeries("TD (balanced)")
-	lenPlain := fig.AddSeries("greedy length (random tie-break)")
-	lenBal := fig.AddSeries("greedy length (balanced)")
-	for _, density := range Densities(opts.Quick) {
-		samples := map[*stats.Series]*stats.Sample{}
-		for _, s := range fig.Series {
-			samples[s] = stats.NewSample(opts.seeds())
+	names := []string{
+		"TD (random tie-break)",
+		"TD (balanced)",
+		"greedy length (random tie-break)",
+		"greedy length (balanced)",
+	}
+	xs := Densities(opts.Quick)
+	err := runGrid(fig, xs, names, opts, func(xi, si int) ([]float64, error) {
+		s, err := GridScenario(xs[xi], 111+int64(si))
+		if err != nil {
+			return nil, err
 		}
-		for seed := 0; seed < opts.seeds(); seed++ {
-			s, err := GridScenario(density, 111+int64(seed))
+		// One RNG feeds demand draw, then the plain forest, then the
+		// balanced forest — the same consumption order for every cell, so
+		// results are a pure function of (xi, si).
+		rng := rand.New(rand.NewSource(222 + int64(si)))
+		nodeDemand, err := traffic.Uniform(s.Net.NumNodes(), 1, 10, rng)
+		if err != nil {
+			return nil, err
+		}
+		gws := forestGateways(s)
+		vals := make([]float64, 4)
+		for _, balanced := range []bool{false, true} {
+			var f *route.Forest
+			if balanced {
+				f, err = route.BuildForestBalanced(s.Net.Comm, gws, nodeDemand, rng)
+			} else {
+				f, err = route.BuildForest(s.Net.Comm, gws, rng)
+			}
 			if err != nil {
 				return nil, err
 			}
-			rng := rand.New(rand.NewSource(222 + int64(seed)))
-			nodeDemand, err := traffic.Uniform(s.Net.NumNodes(), 1, 10, rng)
+			agg, err := f.AggregateDemand(nodeDemand)
 			if err != nil {
 				return nil, err
 			}
-			gws := forestGateways(s)
-			for _, balanced := range []bool{false, true} {
-				var f *route.Forest
-				if balanced {
-					f, err = route.BuildForestBalanced(s.Net.Comm, gws, nodeDemand, rng)
-				} else {
-					f, err = route.BuildForest(s.Net.Comm, gws, rng)
-				}
-				if err != nil {
-					return nil, err
-				}
-				agg, err := f.AggregateDemand(nodeDemand)
-				if err != nil {
-					return nil, err
-				}
-				links := f.Links()
-				demands := make([]int, len(links))
-				for i, l := range links {
-					demands[i] = agg[l.From]
-				}
-				g, err := sched.GreedyPhysical(s.Net.Channel, links, demands, sched.ByHeadIDDesc)
-				if err != nil {
-					return nil, err
-				}
-				if balanced {
-					samples[tdBal].Add(float64(sched.LinearLength(demands)))
-					samples[lenBal].Add(float64(g.Length()))
-				} else {
-					samples[tdPlain].Add(float64(sched.LinearLength(demands)))
-					samples[lenPlain].Add(float64(g.Length()))
-				}
+			links := f.Links()
+			demands := make([]int, len(links))
+			for i, l := range links {
+				demands[i] = agg[l.From]
+			}
+			g, err := sched.GreedyPhysical(s.Net.Channel, links, demands, sched.ByHeadIDDesc)
+			if err != nil {
+				return nil, err
+			}
+			if balanced {
+				vals[1] = float64(sched.LinearLength(demands))
+				vals[3] = float64(g.Length())
+			} else {
+				vals[0] = float64(sched.LinearLength(demands))
+				vals[2] = float64(g.Length())
 			}
 		}
-		for _, s := range fig.Series {
-			sum := samples[s].Summarize()
-			s.Append(density, sum.Mean, sum.CI95)
-		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -106,24 +107,26 @@ func AblationMoteRelays(opts Options) (*stats.Figure, error) {
 		relays = []int{1, 6, 12}
 		screams = 120
 	}
-	series := fig.AddSeries("detection error (24-byte screams)")
-	for _, r := range relays {
-		sample := stats.NewSample(opts.seeds())
-		for seed := 0; seed < opts.seeds(); seed++ {
-			cfg := mote.DefaultConfig(24)
-			cfg.NumRelays = r
-			cfg.Screams = screams
-			cfg.Seed = int64(seed + 1)
-			res, err := mote.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			sample.Add(res.ErrorPercent)
+	xs := make([]float64, len(relays))
+	for i, r := range relays {
+		xs[i] = float64(r)
+	}
+	err := runGrid(fig, xs, []string{"detection error (24-byte screams)"}, opts, func(xi, si int) ([]float64, error) {
+		cfg := mote.DefaultConfig(24)
+		cfg.NumRelays = relays[xi]
+		cfg.Screams = screams
+		cfg.Seed = int64(si + 1)
+		res, err := mote.Run(cfg)
+		if err != nil {
+			return nil, err
 		}
-		sum := sample.Summarize()
-		series.Append(float64(r), sum.Mean, sum.CI95)
+		return []float64{res.ErrorPercent}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Sanity: resilience means no blow-up at high relay counts.
+	series := fig.Series[0]
 	last := series.Points[len(series.Points)-1]
 	if last.Y > 25 {
 		return fig, fmt.Errorf("exp: collision resilience violated: %.1f%% error with %d relays", last.Y, relays[len(relays)-1])

@@ -16,28 +16,30 @@ func Fig4(opts Options) (*stats.Figure, error) {
 		sizes = []int{2, 8, 24}
 		screams = 150
 	}
-	series := fig.AddSeries("detection error")
-	for _, b := range sizes {
-		sample := stats.NewSample(opts.seeds())
-		for seed := 0; seed < opts.seeds(); seed++ {
-			cfg := mote.DefaultConfig(b)
-			cfg.Screams = screams
-			cfg.Seed = int64(seed + 1)
-			res, err := mote.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			sample.Add(res.ErrorPercent)
+	xs := make([]float64, len(sizes))
+	for i, b := range sizes {
+		xs[i] = float64(b)
+	}
+	err := runGrid(fig, xs, []string{"detection error"}, opts, func(xi, si int) ([]float64, error) {
+		cfg := mote.DefaultConfig(sizes[xi])
+		cfg.Screams = screams
+		cfg.Seed = int64(si + 1)
+		res, err := mote.Run(cfg)
+		if err != nil {
+			return nil, err
 		}
-		sum := sample.Summarize()
-		series.Append(float64(b), sum.Mean, sum.CI95)
+		return []float64{res.ErrorPercent}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
 
 // Fig5 regenerates Figure 5: a snapshot of the monitor's moving-average RSSI
 // for 24-byte screams, showing clean periodic humps above the -60 dBm
-// threshold.
+// threshold. It is a single deterministic run producing a trace, not a
+// (x, seed) grid, so it does not go through the cell engine.
 func Fig5(opts Options) (*stats.Figure, error) {
 	fig := stats.NewFigure("Fig 5: Moving Average of RSSI values (24-byte SCREAM)", "time (ms)", "RSSI moving average (dBm)")
 	cfg := mote.DefaultConfig(24)

@@ -24,26 +24,21 @@ func AblationShadowing(opts Options) (*stats.Figure, error) {
 	if opts.Quick {
 		sigmas = []float64{0, 4, 8}
 	}
-	series := fig.AddSeries("GreedyPhysical improvement")
-	idSeries := fig.AddSeries("interference diameter")
-	for _, sigma := range sigmas {
-		impS := stats.NewSample(opts.seeds())
-		idS := stats.NewSample(opts.seeds())
-		for seed := 0; seed < opts.seeds(); seed++ {
-			s, err := shadowedGridScenario(5000, sigma, 137+int64(seed))
-			if err != nil {
-				return nil, err
-			}
-			imp, err := RunCentralized(s)
-			if err != nil {
-				return nil, fmt.Errorf("sigma %g seed %d: %w", sigma, seed, err)
-			}
-			impS.Add(imp)
-			idS.Add(float64(s.Net.InterferenceDiameter()))
+	names := []string{"GreedyPhysical improvement", "interference diameter"}
+	err := runGrid(fig, sigmas, names, opts, func(xi, si int) ([]float64, error) {
+		sigma := sigmas[xi]
+		s, err := shadowedGridScenario(5000, sigma, 137+int64(si))
+		if err != nil {
+			return nil, err
 		}
-		is, ids := impS.Summarize(), idS.Summarize()
-		series.Append(sigma, is.Mean, is.CI95)
-		idSeries.Append(sigma, ids.Mean, ids.CI95)
+		imp, err := RunCentralized(s)
+		if err != nil {
+			return nil, fmt.Errorf("sigma %g seed %d: %w", sigma, si, err)
+		}
+		return []float64{imp, float64(s.Net.InterferenceDiameter())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

@@ -62,7 +62,9 @@ type (
 	MoteResult = mote.Result
 	// Figure is a set of named measurement series with axes.
 	Figure = stats.Figure
-	// ExperimentOptions scales the figure-regeneration harness.
+	// ExperimentOptions scales the figure-regeneration harness: Seeds per
+	// point, Quick sweeps, and Workers for the concurrent cell-grid
+	// engine (results are identical for any worker count).
 	ExperimentOptions = exp.Options
 )
 
