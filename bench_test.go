@@ -223,6 +223,55 @@ func BenchmarkFigEngineSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowEpoch exercises the flow-level dynamic traffic simulator: a
+// 16-node mesh at 1.0x offered load, greedy epoch re-scheduling with an
+// 8-packet quota and 8-frame schedule reuse, 200 ms of simulated time per
+// iteration. Reported metrics give the per-second simulation throughput of
+// the epoch driver (epochs, delivered packets).
+func BenchmarkFlowEpoch(b *testing.B) {
+	m, err := NewGridMesh(GridMeshConfig{Rows: 4, Cols: 4, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := m.FlowFrameTime(Timing{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	isGW := make(map[int]bool)
+	for _, g := range m.Gateways() {
+		isGW[g] = true
+	}
+	rate := 1.0 / frame.Seconds()
+	arrivals := make([]Arrival, m.NumNodes())
+	for u := range arrivals {
+		if isGW[u] {
+			continue
+		}
+		if arrivals[u], err = NewCBR(rate); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var last *FlowResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunFlow(m, FlowOptions{
+			Scheduler:      FlowGreedy,
+			Arrivals:       arrivals,
+			Horizon:        200 * Millisecond,
+			Seed:           int64(i),
+			MaxService:     8,
+			FramesPerEpoch: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Epochs), "epochs")
+	b.ReportMetric(float64(last.Delivered), "delivered_pkts")
+	b.ReportMetric(last.GoodputPps, "goodput_pps")
+}
+
 // Micro-benchmarks for the primitives themselves.
 
 func BenchmarkGreedyPhysical64(b *testing.B) {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figgen [-fig all|4|5|6|7|8|9|ablations] [-quick] [-seeds n] [-workers n] [-ascii]
+//	figgen [-fig all|4|5|6|7|8|9|flow|ablations] [-quick] [-seeds n] [-workers n] [-ascii]
 //
 // Output is one TSV table per figure on stdout (optionally followed by an
 // ASCII rendering of the curves).
@@ -25,7 +25,7 @@ type runner struct {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, 8, 9, or ablations")
+		fig     = flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, 8, 9, flow, or ablations")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		seeds   = flag.Int("seeds", 0, "independent runs per point (0 = default)")
 		workers = flag.Int("workers", 0, "concurrent experiment workers (0 = GOMAXPROCS); output is identical for any value")
@@ -41,12 +41,13 @@ func main() {
 func run(which string, quick bool, seeds, workers int, ascii bool) error {
 	opts := scream.ExperimentOptions{Quick: quick, Seeds: seeds, Workers: workers}
 	figures := map[string][]runner{
-		"4": {{"Fig4", scream.Fig4}},
-		"5": {{"Fig5", scream.Fig5}},
-		"6": {{"Fig6", scream.Fig6}},
-		"7": {{"Fig7", scream.Fig7}},
-		"8": {{"Fig8", scream.Fig8}},
-		"9": {{"Fig9", scream.Fig9}},
+		"4":    {{"Fig4", scream.Fig4}},
+		"5":    {{"Fig5", scream.Fig5}},
+		"6":    {{"Fig6", scream.Fig6}},
+		"7":    {{"Fig7", scream.Fig7}},
+		"8":    {{"Fig8", scream.Fig8}},
+		"9":    {{"Fig9", scream.Fig9}},
+		"flow": {{"FigFlowLoad", scream.FigFlowLoad}},
 		"ablations": {
 			{"AblationPDDProbability", scream.AblationPDDProbability},
 			{"AblationGreedyOrdering", scream.AblationGreedyOrdering},
@@ -60,7 +61,7 @@ func run(which string, quick bool, seeds, workers int, ascii bool) error {
 	}
 	var selected []runner
 	if which == "all" {
-		for _, key := range []string{"4", "5", "6", "7", "8", "9", "ablations"} {
+		for _, key := range []string{"4", "5", "6", "7", "8", "9", "flow", "ablations"} {
 			selected = append(selected, figures[key]...)
 		}
 	} else if rs, ok := figures[which]; ok {

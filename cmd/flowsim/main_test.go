@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+// Small meshes and short horizons: these exercise the full CLI path, not the
+// physics (internal/flow owns those assertions).
+
+func TestRunGreedyCBR(t *testing.T) {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFDDPoisson(t *testing.T) {
+	if err := run(4, 4, 30, 0, "fdd", 0.8, "poisson", 0.5, 0.5, 16, 8, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPDDBursty(t *testing.T) {
+	if err := run(4, 4, 30, 0, "pdd", 0.6, "bursty", 0.5, 0.5, 16, 8, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTDMAZipf(t *testing.T) {
+	if err := run(4, 4, 30, 0, "tdma", 0.8, "zipf", 0.5, 0.3, 8, 8, 16, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(4, 4, 30, 0, "astrology", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1); err == nil {
+		t.Error("unknown scheduler should fail")
+	}
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "telepathy", 0.5, 0.3, 8, 8, 0, 1); err == nil {
+		t.Error("unknown arrival process should fail")
+	}
+	if err := run(0, 0, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1); err == nil {
+		t.Error("invalid grid should fail")
+	}
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0, 8, 8, 0, 1); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}

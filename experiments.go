@@ -26,6 +26,12 @@ func Fig8(opts ExperimentOptions) (*Figure, error) { return exp.Fig8(opts) }
 // Fig9 regenerates "Execution Time vs. Clock Skew".
 func Fig9(opts ExperimentOptions) (*Figure, error) { return exp.Fig9(opts) }
 
+// FigFlowLoad sweeps offered load through the flow-level dynamic traffic
+// simulator: delivered goodput vs offered load for Centralized, FDD,
+// PDD p=0.8 and single-slot TDMA under epoch-based re-scheduling (extension;
+// see the "Dynamic traffic" section of DESIGN.md).
+func FigFlowLoad(opts ExperimentOptions) (*Figure, error) { return exp.FigFlowLoad(opts) }
+
 // Ablations for the design choices called out in DESIGN.md.
 
 // AblationPDDProbability sweeps PDD's activation probability p.

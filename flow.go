@@ -1,0 +1,173 @@
+package scream
+
+// The flow-level dynamic traffic API: run a mesh's schedulers over simulated
+// time under continuous packet arrivals — per-link FIFO queues, gateway
+// forwarding along the routing forest, epoch-based re-scheduling against
+// backlog snapshots, and goodput/delay/backlog metrics. See internal/flow
+// and the "Dynamic traffic" section of DESIGN.md.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scream/internal/core"
+	"scream/internal/flow"
+	"scream/internal/traffic"
+)
+
+// Flow-related aliases re-exported from internal packages.
+type (
+	// Arrival is a per-node packet arrival process (CBR, Poisson, bursty
+	// on/off); see NewCBR, NewPoisson, NewBursty.
+	Arrival = traffic.Arrival
+	// FlowResult is the outcome of a dynamic traffic run: goodput, delay
+	// percentiles, backlog and control-overhead accounting.
+	FlowResult = flow.Result
+)
+
+// FlowScheduler selects the epoch scheduler of a dynamic traffic run.
+type FlowScheduler int
+
+const (
+	// FlowGreedy re-runs the centralized GreedyPhysical baseline each
+	// epoch with zero (genie) control cost.
+	FlowGreedy FlowScheduler = iota + 1
+	// FlowFDD re-runs the FDD protocol each epoch, paying its real
+	// simulated execution time as control cost.
+	FlowFDD
+	// FlowPDD re-runs PDD (activation probability FlowOptions.P) each
+	// epoch at real control cost.
+	FlowPDD
+	// FlowTDMA serves every backlogged link one singleton slot per frame:
+	// the no-spatial-reuse baseline, zero control cost.
+	FlowTDMA
+)
+
+// FlowOptions parameterizes RunFlow.
+type FlowOptions struct {
+	// Scheduler picks the epoch scheduler; the zero value is FlowGreedy.
+	Scheduler FlowScheduler
+	// P is PDD's activation probability (FlowPDD only).
+	P float64
+	// Ordering is the greedy edge ordering (FlowGreedy; 0 = ByHeadIDDesc).
+	Ordering Ordering
+	// Timing is the slot timing model; zero value uses DefaultTiming.
+	Timing Timing
+	// K is the SCREAM length for the distributed schedulers; 0 uses the
+	// mesh's interference diameter.
+	K int
+	// Arrivals holds one arrival process per node (nil entries are silent
+	// nodes; gateways must be nil). Required.
+	Arrivals []Arrival
+	// Horizon is the simulated duration. Required.
+	Horizon SimTime
+	// Seed drives all randomness of the run.
+	Seed int64
+	// MaxQueue caps each link queue in packets (0 = unbounded).
+	MaxQueue int
+	// MaxService caps per-link demand per epoch (0 = full backlog).
+	MaxService int
+	// FramesPerEpoch replays each epoch's schedule this many times before
+	// re-scheduling, amortizing control cost (0 = 1).
+	FramesPerEpoch int
+	// IdleWait is the backlog re-check period when the network is empty
+	// (0 = one handshake slot).
+	IdleWait SimTime
+}
+
+// NewCBR returns a constant-rate arrival process (packets per second).
+func NewCBR(rate float64) (Arrival, error) { return traffic.NewCBR(rate) }
+
+// NewPoisson returns a Poisson arrival process (mean packets per second).
+func NewPoisson(rate float64) (Arrival, error) { return traffic.NewPoisson(rate) }
+
+// NewBursty returns a two-state on/off arrival process: Poisson at peakRate
+// during exponential ON periods (mean meanOn), silent during OFF periods
+// (mean meanOff).
+func NewBursty(peakRate float64, meanOn, meanOff SimTime) (Arrival, error) {
+	return traffic.NewBursty(peakRate, meanOn, meanOff)
+}
+
+// HotspotRates draws Zipf-skewed per-node rate multipliers normalized to
+// mean 1 — combine with NewPoisson to concentrate a mesh's offered load on a
+// few hotspot routers.
+func HotspotRates(n int, s, v float64, max uint64, seed int64) ([]float64, error) {
+	return traffic.HotspotRates(n, s, v, max, rand.New(rand.NewSource(seed)))
+}
+
+// RunFlow runs a flow-level dynamic traffic simulation on the mesh: packets
+// arrive at source nodes per opts.Arrivals, queue on forest links, and are
+// drained by the selected scheduler's epoch-based schedules until the
+// horizon. See FlowResult for the metrics returned.
+func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
+	tm := opts.Timing
+	if tm == (Timing{}) {
+		tm = DefaultTiming()
+	}
+	var (
+		scheduler flow.Scheduler
+		err       error
+	)
+	switch opts.Scheduler {
+	case FlowGreedy, 0:
+		ord := opts.Ordering
+		if ord == 0 {
+			ord = ByHeadIDDesc
+		}
+		scheduler = flow.NewGreedyScheduler(m.Network.Channel, m.Links, ord)
+	case FlowTDMA:
+		scheduler = flow.NewTDMAScheduler(m.Links)
+	case FlowFDD, FlowPDD:
+		variant := core.FDD
+		if opts.Scheduler == FlowPDD {
+			variant = core.PDD
+		}
+		scheduler, err = flow.NewProtocolScheduler(flow.ProtocolSchedulerConfig{
+			Channel: m.Network.Channel,
+			Sens:    m.Network.Sens,
+			Links:   m.Links,
+			K:       opts.K,
+			Timing:  tm,
+			Variant: variant,
+			P:       opts.P,
+			Seed:    opts.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scream: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("scream: unknown flow scheduler %d", opts.Scheduler)
+	}
+	res, err := flow.Run(flow.Config{
+		Forest:         m.Forest,
+		Links:          m.Links,
+		Scheduler:      scheduler,
+		Timing:         tm,
+		Arrivals:       opts.Arrivals,
+		Horizon:        opts.Horizon,
+		Seed:           opts.Seed,
+		MaxQueue:       opts.MaxQueue,
+		MaxService:     opts.MaxService,
+		FramesPerEpoch: opts.FramesPerEpoch,
+		IdleWait:       opts.IdleWait,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scream: %w", err)
+	}
+	return res, nil
+}
+
+// FlowFrameTime returns the mesh's capacity reference: the duration of one
+// greedy frame delivering one end-to-end packet per non-gateway node. A
+// per-node arrival rate of x/FlowFrameTime offers x times the static
+// schedule's sustainable load (the x axis of FigFlowLoad).
+func (m *Mesh) FlowFrameTime(tm Timing) (SimTime, error) {
+	if tm == (Timing{}) {
+		tm = DefaultTiming()
+	}
+	frame, err := flow.FrameTime(m.Network.Channel, m.Forest, m.Links, tm)
+	if err != nil {
+		return 0, fmt.Errorf("scream: %w", err)
+	}
+	return frame, nil
+}

@@ -1,0 +1,118 @@
+package scream
+
+import (
+	"math"
+	"testing"
+)
+
+func flowTestMesh(t *testing.T) *Mesh {
+	t.Helper()
+	m, err := NewGridMesh(GridMeshConfig{Rows: 4, Cols: 4, StepMeters: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func flowTestArrivals(t *testing.T, m *Mesh, rate float64) []Arrival {
+	t.Helper()
+	isGW := make(map[int]bool)
+	for _, g := range m.Gateways() {
+		isGW[g] = true
+	}
+	arrivals := make([]Arrival, m.NumNodes())
+	for u := range arrivals {
+		if isGW[u] {
+			continue
+		}
+		a, err := NewPoisson(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals[u] = a
+	}
+	return arrivals
+}
+
+func TestRunFlow(t *testing.T) {
+	m := flowTestMesh(t)
+	frame, err := m.FlowFrameTime(Timing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame <= 0 {
+		t.Fatalf("frame time %v", frame)
+	}
+	rate := 0.5 / frame.Seconds()
+	for _, sched := range []FlowScheduler{FlowGreedy, FlowFDD, FlowPDD, FlowTDMA} {
+		res, err := RunFlow(m, FlowOptions{
+			Scheduler:      sched,
+			P:              0.8,
+			Arrivals:       flowTestArrivals(t, m, rate),
+			Horizon:        300 * Millisecond,
+			Seed:           7,
+			MaxService:     8,
+			FramesPerEpoch: 8,
+		})
+		if err != nil {
+			t.Fatalf("scheduler %d: %v", sched, err)
+		}
+		if res.Delivered == 0 {
+			t.Errorf("scheduler %d delivered nothing (offered %d)", sched, res.Offered)
+		}
+		if got := res.Delivered + res.Dropped + res.FinalBacklog; got != res.Offered {
+			t.Errorf("scheduler %d: conservation %d != offered %d", sched, got, res.Offered)
+		}
+	}
+	if _, err := RunFlow(m, FlowOptions{Scheduler: 99, Arrivals: flowTestArrivals(t, m, rate), Horizon: Millisecond}); err == nil {
+		t.Error("unknown scheduler should fail")
+	}
+}
+
+func TestHotspotRatesRoot(t *testing.T) {
+	rates, err := HotspotRates(64, 1.5, 1, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range rates {
+		sum += r
+	}
+	if math.Abs(sum-64) > 1e-6 {
+		t.Errorf("hotspot rates sum %v, want 64", sum)
+	}
+}
+
+// TestRadioParamsCSThreshold pins the carrier-sense sentinel semantics:
+// DefaultRadioParams (NaN) derives beta * noise; any finite value — now
+// including a literal 0 dBm — is used as given.
+func TestRadioParamsCSThreshold(t *testing.T) {
+	if !math.IsNaN(DefaultRadioParams().CSThresholdDBm) {
+		t.Fatal("DefaultRadioParams should leave CSThresholdDBm explicitly unset (NaN)")
+	}
+
+	derived := flowTestMesh(t)
+	p := derived.Network.Params
+	if got, want := p.CSThresholdMW, p.NoiseMW*p.Beta; math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("NaN sentinel: CS threshold %v, want beta*noise %v", got, want)
+	}
+
+	radio := DefaultRadioParams()
+	radio.CSThresholdDBm = 0 // a literal 0 dBm = 1 mW, previously unexpressible
+	m, err := NewGridMesh(GridMeshConfig{Rows: 4, Cols: 4, StepMeters: 30, Seed: 1, Radio: radio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Network.Params.CSThresholdMW; math.Abs(got-1) > 1e-12 {
+		t.Errorf("explicit 0 dBm: CS threshold %v mW, want 1", got)
+	}
+
+	radio.CSThresholdDBm = -80
+	m, err = NewGridMesh(GridMeshConfig{Rows: 4, Cols: 4, StepMeters: 30, Seed: 1, Radio: radio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Network.Params.CSThresholdMW, 1e-8; math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("explicit -80 dBm: CS threshold %v mW, want %v", got, want)
+	}
+}

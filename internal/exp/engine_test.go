@@ -50,6 +50,9 @@ func TestEngineDeterminism(t *testing.T) {
 		{"Fig7", Fig7},
 		{"Fig8", Fig8},
 		{"AblationBalancedRouting", AblationBalancedRouting},
+		// The flow figure runs whole dynamic simulations per cell; its
+		// determinism additionally covers the des-driven arrival streams.
+		{"FigFlowLoad", FigFlowLoad},
 	}
 	for _, r := range runners {
 		r := r

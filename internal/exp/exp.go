@@ -41,10 +41,12 @@ func (o Options) seeds() int {
 	return 5
 }
 
-// Scenario is one fully built workload: a network plus forest links and
-// per-link aggregated demands — the unit every figure consumes.
+// Scenario is one fully built workload: a network plus routing forest, its
+// links and per-link aggregated demands — the unit every figure consumes.
+// The flow figures additionally forward packets along Forest.
 type Scenario struct {
 	Net     *topo.Network
+	Forest  *route.Forest
 	Links   []phys.Link
 	Demands []int
 }
@@ -116,7 +118,7 @@ func finishScenario(net *topo.Network, seed int64) (*Scenario, error) {
 	for i, l := range links {
 		demands[i] = agg[l.From]
 	}
-	return &Scenario{Net: net, Links: links, Demands: demands}, nil
+	return &Scenario{Net: net, Forest: f, Links: links, Demands: demands}, nil
 }
 
 // RunCentralized runs GreedyPhysical (head-ID order) on the scenario and

@@ -1,0 +1,154 @@
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scream/internal/core"
+	"scream/internal/des"
+	"scream/internal/graph"
+	"scream/internal/phys"
+	"scream/internal/route"
+	"scream/internal/sched"
+)
+
+// FrameTime returns the static-capacity reference of a mesh: the duration of
+// one greedy frame delivering one end-to-end packet per non-gateway node
+// (demands aggregated over the forest, head-ID ordering, one handshake slot
+// per schedule slot). A per-node arrival rate of x/FrameTime offers x times
+// the static schedule's sustainable load — the x axis of the load sweeps.
+func FrameTime(ch *phys.Channel, forest *route.Forest, links []phys.Link, tm core.Timing) (des.Time, error) {
+	ones := make([]int, forest.NumNodes())
+	for i := range ones {
+		ones[i] = 1
+	}
+	for _, g := range forest.Gateways() {
+		ones[g] = 0
+	}
+	agg, err := forest.AggregateDemand(ones)
+	if err != nil {
+		return 0, err
+	}
+	demands := make([]int, len(links))
+	for i, l := range links {
+		demands[i] = agg[l.From]
+	}
+	s, err := sched.GreedyPhysical(ch, links, demands, sched.ByHeadIDDesc)
+	if err != nil {
+		return 0, err
+	}
+	return des.Time(s.Length()) * tm.HandshakeSlot(), nil
+}
+
+// NewGreedyScheduler returns the centralized GreedyPhysical baseline as an
+// epoch scheduler. Its control cost is idealized to zero: a genie gathers the
+// backlog and disseminates the schedule for free, which makes it the upper
+// bound the distributed protocols are judged against (their re-scheduling
+// pays real SCREAM/election/handshake time).
+func NewGreedyScheduler(ch *phys.Channel, links []phys.Link, ord sched.Ordering) Scheduler {
+	return Scheduler{
+		Name: fmt.Sprintf("greedy(%v)", ord),
+		Build: func(demands []int, _ int) (*sched.Schedule, des.Time, error) {
+			s, err := sched.GreedyPhysical(ch, links, demands, ord)
+			return s, 0, err
+		},
+	}
+}
+
+// NewTDMAScheduler returns the classical single-slot TDMA baseline: frames
+// that give every backlogged link exactly one singleton slot, repeated until
+// the snapshot is served. One transmission per slot is always SINR-feasible,
+// no control traffic is needed (the frame structure is static), and there is
+// no spatial reuse — the schedule the paper's improvement metric is measured
+// against, run dynamically.
+func NewTDMAScheduler(links []phys.Link) Scheduler {
+	return Scheduler{
+		Name: "tdma",
+		Build: func(demands []int, _ int) (*sched.Schedule, des.Time, error) {
+			if len(demands) != len(links) {
+				return nil, 0, fmt.Errorf("flow: %d demands for %d links", len(demands), len(links))
+			}
+			s := sched.NewSchedule()
+			remaining := append([]int(nil), demands...)
+			left := 0
+			for _, d := range remaining {
+				if d < 0 {
+					return nil, 0, fmt.Errorf("flow: negative demand %d", d)
+				}
+				left += d
+			}
+			for left > 0 {
+				for i := range links {
+					if remaining[i] > 0 {
+						s.AppendSlot([]phys.Link{links[i]})
+						remaining[i]--
+						left--
+					}
+				}
+			}
+			return s, 0, nil
+		},
+	}
+}
+
+// ProtocolSchedulerConfig parameterizes a distributed epoch scheduler.
+type ProtocolSchedulerConfig struct {
+	Channel *phys.Channel
+	Sens    *graph.Graph // sensitivity graph (who hears whom)
+	Links   []phys.Link
+	K       int // SCREAM length; 0 derives ID(G_S) from Sens
+	Timing  core.Timing
+	Variant core.Variant
+	P       float64 // PDD activation probability
+	Seed    int64   // per-epoch RNG seeds derive from this
+}
+
+// NewProtocolScheduler returns FDD or PDD as an epoch scheduler. Every epoch
+// re-runs the full distributed protocol on a fresh ideal backend against the
+// backlog snapshot, and the returned control cost is the protocol's real
+// simulated execution time (core.Result.ExecTime) — the price the network
+// pays, in SCREAMs, elections and handshakes, for re-planning.
+func NewProtocolScheduler(cfg ProtocolSchedulerConfig) (Scheduler, error) {
+	tm := cfg.Timing
+	if tm == (core.Timing{}) {
+		tm = core.DefaultTiming()
+	}
+	k := cfg.K
+	if k == 0 {
+		k = cfg.Sens.Diameter()
+		if k <= 0 {
+			return Scheduler{}, fmt.Errorf("flow: sensitivity graph not strongly connected")
+		}
+	}
+	name := cfg.Variant.String()
+	if cfg.Variant == core.PDD {
+		if cfg.P <= 0 || cfg.P > 1 {
+			return Scheduler{}, fmt.Errorf("flow: PDD needs probability in (0,1], got %v", cfg.P)
+		}
+		name = fmt.Sprintf("PDD(p=%.2f)", cfg.P)
+	}
+	return Scheduler{
+		Name: name,
+		Build: func(demands []int, epoch int) (*sched.Schedule, des.Time, error) {
+			b, err := core.NewIdealBackend(cfg.Channel, cfg.Sens, k, tm, false)
+			if err != nil {
+				return nil, 0, err
+			}
+			run := core.Config{
+				Variant: cfg.Variant,
+				Links:   cfg.Links,
+				Demands: demands,
+				Backend: b,
+			}
+			if cfg.Variant == core.PDD {
+				run.Probability = cfg.P
+				run.RNG = rand.New(rand.NewSource(DeriveSeed(cfg.Seed, int64(epoch))))
+			}
+			res, err := core.Run(run)
+			if err != nil {
+				return nil, 0, err
+			}
+			return res.Schedule, res.ExecTime, nil
+		},
+	}, nil
+}

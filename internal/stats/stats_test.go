@@ -263,3 +263,73 @@ func TestRenderASCIIEmpty(t *testing.T) {
 		t.Error("should still emit a frame")
 	}
 }
+
+// TestPercentileTable extends TestPercentile with the cases the flow
+// subsystem's delay metrics lean on: empty sample, single element, the
+// p<=0 / p>=100 clamps, exact ranks and linear interpolation between them.
+func TestPercentileTable(t *testing.T) {
+	from := func(xs ...float64) *Sample {
+		s := NewSample(len(xs))
+		for _, x := range xs {
+			s.Add(x)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		s    *Sample
+		p    float64
+		want float64
+	}{
+		{"empty", NewSample(0), 50, 0},
+		{"empty p0", NewSample(0), 0, 0},
+		{"single p0", from(7), 0, 7},
+		{"single p50", from(7), 50, 7},
+		{"single p100", from(7), 100, 7},
+		{"p0 is min", from(3, 1, 2), 0, 1},
+		{"p100 is max", from(3, 1, 2), 100, 3},
+		{"negative p clamps to min", from(3, 1, 2), -10, 1},
+		{"p>100 clamps to max", from(3, 1, 2), 150, 3},
+		{"median odd", from(5, 1, 3), 50, 3},
+		{"median even interpolates", from(1, 2, 3, 4), 50, 2.5},
+		{"quartile interpolates", from(0, 10), 25, 2.5},
+		{"p95 of 0..100", func() *Sample {
+			s := NewSample(101)
+			for i := 100; i >= 0; i-- { // insertion order must not matter
+				s.Add(float64(i))
+			}
+			return s
+		}(), 95, 95},
+		{"exact rank no interpolation", from(10, 20, 30, 40, 50), 25, 20},
+		{"interpolated rank", from(10, 20, 30, 40, 50), 30, 22},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Percentile(tc.p); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPercentileMonotone: for any sample, Percentile must be monotone in p
+// and bounded by [Min, Max].
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSample(40)
+	for i := 0; i < 40; i++ {
+		s.Add(rng.NormFloat64() * 10)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		got := s.Percentile(p)
+		if got < prev {
+			t.Fatalf("Percentile(%v) = %v < Percentile at previous p %v", p, got, prev)
+		}
+		if got < s.Min() || got > s.Max() {
+			t.Fatalf("Percentile(%v) = %v outside [%v, %v]", p, got, s.Min(), s.Max())
+		}
+		prev = got
+	}
+}

@@ -2,6 +2,7 @@ package scream
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"scream/internal/core"
@@ -19,19 +20,29 @@ type RadioParams struct {
 	RefLossDB        float64 // path loss at 1 m
 	NoiseDBm         float64 // background noise floor
 	BetaDB           float64 // SINR threshold
-	CSThresholdDBm   float64 // carrier-sense threshold; 0 means "beta * noise"
-	ShadowSigmaDB    float64 // log-normal shadowing std dev; 0 disables
+	// CSThresholdDBm is the carrier-sense (energy detect) threshold in
+	// dBm. math.NaN() means "explicitly unset": derive it as beta * noise
+	// (carrier sensing at decode sensitivity, the paper's rCS = rc), which
+	// is what DefaultRadioParams returns. Any finite value — including a
+	// literal 0 dBm, which the old 0-means-derive sentinel could not
+	// express — is used as given. Note that a RadioParams zero value
+	// therefore asks for a 0 dBm threshold; start from
+	// DefaultRadioParams() when you want the derived default.
+	CSThresholdDBm float64
+	ShadowSigmaDB  float64 // log-normal shadowing std dev; 0 disables
 }
 
 // DefaultRadioParams returns the environment used throughout the
 // reproduction: alpha = 3, 40 dB reference loss, -96 dBm noise, 10 dB beta,
-// carrier sensing at decode sensitivity (rCS = rc).
+// and CSThresholdDBm = NaN — carrier sensing derived at decode sensitivity
+// (rCS = rc).
 func DefaultRadioParams() RadioParams {
 	return RadioParams{
 		PathLossExponent: 3,
 		RefLossDB:        40,
 		NoiseDBm:         -96,
 		BetaDB:           10,
+		CSThresholdDBm:   math.NaN(),
 	}
 }
 
@@ -41,10 +52,10 @@ func (r RadioParams) toParams() topo.Params {
 	p.PathLoss.RefLossDB = r.RefLossDB
 	p.NoiseMW = phys.DBm(r.NoiseDBm).MilliWatts()
 	p.Beta = phys.DB(r.BetaDB).Linear()
-	if r.CSThresholdDBm != 0 {
-		p.CSThresholdMW = phys.DBm(r.CSThresholdDBm).MilliWatts()
-	} else {
+	if math.IsNaN(r.CSThresholdDBm) {
 		p.CSThresholdMW = p.NoiseMW * p.Beta
+	} else {
+		p.CSThresholdMW = phys.DBm(r.CSThresholdDBm).MilliWatts()
 	}
 	p.ShadowSigmaDB = r.ShadowSigmaDB
 	return p
