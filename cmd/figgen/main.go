@@ -5,6 +5,8 @@
 //
 //	figgen [-fig all|4|5|6|7|8|9|flow|ablations] [-quick] [-seeds n] [-workers n] [-ascii]
 //
+// -fig also accepts a comma-separated list (e.g. -fig 6,7,8).
+//
 // Output is one TSV table per figure on stdout (optionally followed by an
 // ASCII rendering of the curves).
 package main
@@ -13,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"scream"
@@ -25,7 +28,7 @@ type runner struct {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, 8, 9, flow, or ablations")
+		fig     = flag.String("fig", "all", "which figures to regenerate: all, 4, 5, 6, 7, 8, 9, flow, ablations, or a comma-separated list")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		seeds   = flag.Int("seeds", 0, "independent runs per point (0 = default)")
 		workers = flag.Int("workers", 0, "concurrent experiment workers (0 = GOMAXPROCS); output is identical for any value")
@@ -60,14 +63,17 @@ func run(which string, quick bool, seeds, workers int, ascii bool) error {
 		},
 	}
 	var selected []runner
-	if which == "all" {
-		for _, key := range []string{"4", "5", "6", "7", "8", "9", "flow", "ablations"} {
-			selected = append(selected, figures[key]...)
+	for _, key := range strings.Split(which, ",") {
+		key = strings.TrimSpace(key)
+		if key == "all" {
+			for _, k := range []string{"4", "5", "6", "7", "8", "9", "flow", "ablations"} {
+				selected = append(selected, figures[k]...)
+			}
+		} else if rs, ok := figures[key]; ok {
+			selected = append(selected, rs...)
+		} else {
+			return fmt.Errorf("unknown -fig %q", key)
 		}
-	} else if rs, ok := figures[which]; ok {
-		selected = rs
-	} else {
-		return fmt.Errorf("unknown -fig %q", which)
 	}
 
 	for _, r := range selected {

@@ -23,7 +23,9 @@ type Backend interface {
 	// relay value — the network-wide OR when K >= ID(G_S).
 	Scream(vars []bool) []bool
 	// HandshakeSlot runs one data + ACK handshake slot for all the given
-	// links concurrently and reports per-link two-way success.
+	// links concurrently and reports per-link two-way success. The
+	// returned slice is only valid until the next HandshakeSlot call
+	// (implementations may reuse it).
 	HandshakeSlot(links []phys.Link) []bool
 	// Elapsed returns the total simulated time consumed so far.
 	Elapsed() des.Time
@@ -48,12 +50,14 @@ func RunScreamSlots(k int, vars []bool, slot func(screamers []bool) []bool) []bo
 }
 
 // IdealBackend evaluates the primitives directly against the physical
-// interference model: handshakes via phys.Channel.HandshakeOutcome and
-// SCREAM detection via aggregate-energy carrier sensing over the sensitivity
-// graph. In Fast mode (the default), the SCREAM result is computed as the
-// plain OR of the inputs, which is exact whenever K >= ID(G_S) — the
-// precondition the constructor enforces; strict mode runs the slot-by-slot
-// relay flood instead.
+// interference model: handshakes via the incremental phys.SlotState engine
+// (equivalent to phys.Channel.HandshakeOutcome, which stays as the reference
+// implementation and is what the packet-level radio backend approximates)
+// and SCREAM detection via aggregate-energy carrier sensing over the
+// sensitivity graph. In Fast mode (the default), the SCREAM result is
+// computed as the plain OR of the inputs, which is exact whenever
+// K >= ID(G_S) — the precondition the constructor enforces; strict mode runs
+// the slot-by-slot relay flood instead.
 type IdealBackend struct {
 	ch      *phys.Channel
 	sensAdj [][]int // sensitivity-graph in-neighbors: who node v can hear
@@ -64,6 +68,27 @@ type IdealBackend struct {
 
 	screams    int // SCREAM primitives run
 	handshakes int // handshake slots run
+
+	// Incremental handshake engine. The protocols build each slot by
+	// repeatedly handshaking a slowly-mutating link set (the allocated
+	// links persist, each step tentatively admits a few actives and evicts
+	// the ones that failed), so the backend diffs each request against the
+	// previous one and replays only the difference on a phys.SlotState:
+	// O(k·Δ) per step instead of HandshakeOutcome's O(k²). Every protocol
+	// link is owned by its From node (one link per owner), so all engine
+	// bookkeeping is indexed by From; requests that violate that invariant
+	// fall back to the reference Channel.HandshakeOutcome.
+	slot       *phys.SlotState
+	prev       []phys.Link // link set of the previous HandshakeSlot call
+	lastAdds   []phys.Link // links tentatively added by that call
+	isLastAdd  []bool      // by From: link was tentatively added by that call
+	member     []bool      // by From: owner's link is currently in the slot
+	memberLink []phys.Link // by From: the member link itself
+	posIdx     []int       // by From: the member link's slot admission index
+	wantCall   []int       // by From: stamp marking membership in the current request
+	wantLink   []phys.Link // by From: the requested link for this call
+	call       int         // HandshakeSlot invocation counter for the stamps
+	outBuf     []bool      // result scratch, valid until the next HandshakeSlot call
 }
 
 // NewIdealBackend builds an ideal backend. sens is the sensitivity graph
@@ -145,11 +170,151 @@ func (b *IdealBackend) Scream(vars []bool) []bool {
 	})
 }
 
+// Clone returns a fresh backend sharing the immutable channel, sensitivity
+// adjacency and timing but with zeroed counters, elapsed time and engine
+// state. It lets callers that run many protocol instances over one
+// deployment (the flow-epoch schedulers) skip re-validating the sensitivity
+// graph on every run.
+func (b *IdealBackend) Clone() *IdealBackend {
+	return &IdealBackend{ch: b.ch, sensAdj: b.sensAdj, k: b.k, timing: b.timing, strict: b.strict}
+}
+
 // HandshakeSlot implements Backend.
 func (b *IdealBackend) HandshakeSlot(links []phys.Link) []bool {
 	b.handshakes++
 	b.elapsed += b.timing.HandshakeSlot()
-	return b.ch.HandshakeOutcome(links)
+	return b.incrementalOutcome(links)
+}
+
+// resetEngine discards all incremental handshake state; the next call
+// rebuilds from scratch.
+func (b *IdealBackend) resetEngine() {
+	if b.slot != nil {
+		b.slot.Reset()
+	}
+	for _, l := range b.prev {
+		b.member[l.From] = false
+	}
+	// Links admitted by a partially-completed call are tracked in lastAdds
+	// but possibly not yet in prev, so clear member for them too.
+	for _, l := range b.lastAdds {
+		b.member[l.From] = false
+		b.isLastAdd[l.From] = false
+	}
+	b.prev = b.prev[:0]
+	b.lastAdds = b.lastAdds[:0]
+}
+
+// wanted reports whether l is part of the current request.
+func (b *IdealBackend) wanted(l phys.Link) bool {
+	return b.wantCall[l.From] == b.call && b.wantLink[l.From] == l
+}
+
+// incrementalOutcome evaluates one handshake slot through the SlotState
+// engine. Decisions are identical to phys.Channel.HandshakeOutcome on the
+// same set (see TestIdealBackendHandshakeMatchesNaive): the engine only
+// changes how the interference sums are accumulated, not the inequalities.
+func (b *IdealBackend) incrementalOutcome(links []phys.Link) []bool {
+	if b.slot == nil {
+		n := b.ch.NumNodes()
+		b.slot = phys.NewSlotState(b.ch)
+		b.isLastAdd = make([]bool, n)
+		b.member = make([]bool, n)
+		b.memberLink = make([]phys.Link, n)
+		b.posIdx = make([]int, n)
+		b.wantCall = make([]int, n)
+		b.wantLink = make([]phys.Link, n)
+	}
+	b.call++
+	for _, l := range links {
+		if b.wantCall[l.From] == b.call {
+			// Two links with one owner cannot occur in a protocol run; for
+			// such requests fall back to the reference implementation
+			// rather than complicating the engine.
+			b.resetEngine()
+			return b.ch.HandshakeOutcome(links)
+		}
+		b.wantCall[l.From] = b.call
+		b.wantLink[l.From] = l
+	}
+
+	// Diff against the previous request.
+	removed := 0
+	removedOnlyTentative := true
+	for _, l := range b.prev {
+		if b.wanted(l) {
+			continue
+		}
+		removed++
+		if !b.isLastAdd[l.From] {
+			removedOnlyTentative = false
+		}
+	}
+	switch {
+	case removed == 0:
+		// Pure growth: keep the slot as is.
+	case removedOnlyTentative:
+		// Every evicted link was tentatively admitted by the previous call
+		// (a discarded active): roll the tentative batch back exactly and
+		// re-admit the batch members that were kept.
+		b.slot.Rollback()
+		for _, l := range b.lastAdds {
+			b.member[l.From] = false
+		}
+		for _, l := range links {
+			if b.isLastAdd[l.From] && b.memberLink[l.From] == l {
+				b.admit(l)
+			}
+		}
+	default:
+		// A sealed slot or another wholesale change: rebuild from scratch,
+		// which also keeps rounding drift bounded to a single round.
+		b.slot.Reset()
+		for _, l := range b.prev {
+			b.member[l.From] = false
+		}
+	}
+
+	// Tentatively admit the newcomers; they form the batch the next call
+	// may roll back.
+	for _, l := range b.lastAdds {
+		b.isLastAdd[l.From] = false
+	}
+	b.lastAdds = b.lastAdds[:0]
+	b.slot.Mark()
+	for _, l := range links {
+		if b.member[l.From] {
+			if b.memberLink[l.From] == l {
+				continue
+			}
+			// The owner's link changed identity between calls — not a
+			// protocol access pattern; use the reference implementation.
+			b.resetEngine()
+			return b.ch.HandshakeOutcome(links)
+		}
+		b.admit(l)
+		b.lastAdds = append(b.lastAdds, l)
+		b.isLastAdd[l.From] = true
+	}
+	b.prev = append(b.prev[:0], links...)
+
+	slotOut := b.slot.Outcomes()
+	if cap(b.outBuf) < len(links) {
+		b.outBuf = make([]bool, len(links))
+	}
+	out := b.outBuf[:len(links)]
+	for i, l := range links {
+		out[i] = slotOut[b.posIdx[l.From]]
+	}
+	return out
+}
+
+// admit adds l to the slot and records its owner-indexed bookkeeping.
+func (b *IdealBackend) admit(l phys.Link) {
+	b.member[l.From] = true
+	b.memberLink[l.From] = l
+	b.posIdx[l.From] = b.slot.Len()
+	b.slot.Add(l)
 }
 
 // Elapsed implements Backend.

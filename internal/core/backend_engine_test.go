@@ -1,0 +1,146 @@
+package core
+
+// Tests for the incremental handshake engine inside IdealBackend: whole
+// protocol runs must be indistinguishable from a backend that evaluates
+// every handshake with the naive reference phys.Channel.HandshakeOutcome.
+
+import (
+	"math/rand"
+	"testing"
+
+	"scream/internal/des"
+	"scream/internal/phys"
+)
+
+// naiveBackend wraps an IdealBackend but evaluates handshakes with the
+// reference implementation, bypassing the incremental engine.
+type naiveBackend struct {
+	*IdealBackend
+}
+
+func (b naiveBackend) HandshakeSlot(links []phys.Link) []bool {
+	b.handshakes++
+	b.elapsed += b.timing.HandshakeSlot()
+	return b.ch.HandshakeOutcome(links)
+}
+
+func runBoth(t *testing.T, fx *fixture, cfg Config, seed int64) (*Result, *Result) {
+	t.Helper()
+	cfgInc := cfg
+	cfgInc.Links, cfgInc.Demands = fx.links, fx.demands
+	cfgInc.Backend = fx.backend(t, 0, false)
+	cfgNaive := cfgInc
+	cfgNaive.Backend = naiveBackend{fx.backend(t, 0, false)}
+	if cfg.Variant == PDD {
+		cfgInc.RNG = rand.New(rand.NewSource(seed))
+		cfgNaive.RNG = rand.New(rand.NewSource(seed))
+	}
+	inc, err := Run(cfgInc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Run(cfgNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inc, naive
+}
+
+// TestIdealBackendHandshakeMatchesNaive: FDD and PDD runs driven through the
+// incremental engine produce the same schedule, step/round counts and
+// simulated time as runs against the naive reference backend.
+func TestIdealBackendHandshakeMatchesNaive(t *testing.T) {
+	for _, dim := range []int{4, 5} {
+		for seed := int64(1); seed <= 4; seed++ {
+			fx := gridFixture(t, dim, seed)
+			for _, variant := range []Variant{FDD, PDD} {
+				cfg := Config{Variant: variant}
+				if variant == PDD {
+					cfg.Probability = 0.4
+				}
+				inc, naive := runBoth(t, fx, cfg, seed)
+				if !inc.Schedule.Equal(naive.Schedule) {
+					t.Fatalf("dim %d seed %d %v: incremental schedule differs from naive", dim, seed, variant)
+				}
+				if inc.Rounds != naive.Rounds || inc.Steps != naive.Steps ||
+					inc.Elections != naive.Elections || inc.Screams != naive.Screams {
+					t.Fatalf("dim %d seed %d %v: stats diverge: %+v vs %+v", dim, seed, variant, inc, naive)
+				}
+				if inc.ExecTime != naive.ExecTime {
+					t.Fatalf("dim %d seed %d %v: ExecTime %v vs %v", dim, seed, variant, inc.ExecTime, naive.ExecTime)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalOutcomeArbitrarySequences fuzzes HandshakeSlot directly
+// with call sequences the protocols never produce — wholesale set swaps,
+// duplicate links, repeated owners — and checks every response against the
+// reference implementation (exercising the engine's rebuild and fallback
+// paths).
+func TestIncrementalOutcomeArbitrarySequences(t *testing.T) {
+	fx := gridFixture(t, 4, 7)
+	rng := rand.New(rand.NewSource(11))
+	b := fx.backend(t, 0, false)
+	pool := fx.links
+	for call := 0; call < 400; call++ {
+		var req []phys.Link
+		for len(req) == 0 {
+			req = nil
+			for _, l := range pool {
+				if rng.Intn(3) == 0 {
+					req = append(req, l)
+				}
+			}
+			if len(req) > 0 {
+				switch rng.Intn(5) {
+				case 0: // duplicate link
+					req = append(req, req[rng.Intn(len(req))])
+				case 1: // two links, one owner
+					l := req[rng.Intn(len(req))]
+					req = append(req, phys.Link{From: l.From, To: (l.To + 1) % fx.net.NumNodes()})
+				}
+			}
+		}
+		got := b.HandshakeSlot(req)
+		want := fx.net.Channel.HandshakeOutcome(req)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("call %d: outcome[%d] = %v, reference = %v, request %v", call, i, got[i], want[i], req)
+			}
+		}
+	}
+}
+
+// TestCloneSharesTopologyNotState: a cloned backend starts with fresh time
+// accounting and produces identical results.
+func TestCloneSharesTopologyNotState(t *testing.T) {
+	fx := gridFixture(t, 4, 3)
+	b := fx.backend(t, 0, false)
+	vars := make([]bool, b.NumNodes())
+	vars[1] = true
+	b.Scream(vars)
+	b.HandshakeSlot(fx.links[:1])
+	c := b.Clone()
+	if c.Elapsed() != 0 || c.ScreamCount() != 0 || c.HandshakeCount() != 0 {
+		t.Fatal("clone must start with zeroed accounting")
+	}
+	if c.K() != b.K() || c.NumNodes() != b.NumNodes() {
+		t.Fatal("clone must share the deployment parameters")
+	}
+	var tm des.Time
+	for i := 0; i < 3; i++ {
+		out := c.HandshakeSlot(fx.links)
+		ref := fx.net.Channel.HandshakeOutcome(fx.links)
+		for j := range ref {
+			if out[j] != ref[j] {
+				t.Fatalf("clone outcome[%d] diverges from reference", j)
+			}
+		}
+		if c.Elapsed() <= tm {
+			t.Fatal("clone must bill time")
+		}
+		tm = c.Elapsed()
+	}
+}

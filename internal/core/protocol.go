@@ -220,7 +220,14 @@ func Run(cfg Config) (*Result, error) {
 		return LeaderElect(b, idBits, ids, participating)
 	}
 
+	// Scratch buffers for the admission loop, reused across steps: the
+	// backend's incremental engine makes each handshake O(k·Δ), so the
+	// step loop itself must not churn allocations either.
 	vars := make([]bool, n)
+	part := make([]bool, n)
+	hsLinks := make([]phys.Link, 0, n)
+	hsOwners := make([]int, 0, n)
+	hsOK := make([]bool, n)
 	released := true
 	controller := -1
 
@@ -231,7 +238,6 @@ func Run(cfg Config) (*Result, error) {
 
 		if released {
 			// Controller election among all nodes with pending demand.
-			part := make([]bool, n)
 			for u := 0; u < n; u++ {
 				part[u] = state[u] != Complete
 			}
@@ -273,7 +279,6 @@ func Run(cfg Config) (*Result, error) {
 					}
 				}
 			case FDD:
-				part := make([]bool, n)
 				for u := 0; u < n; u++ {
 					part[u] = state[u] == Dormant
 				}
@@ -283,8 +288,8 @@ func Run(cfg Config) (*Result, error) {
 			}
 
 			// Handshake slot over every tentatively or firmly scheduled link.
-			var hsLinks []phys.Link
-			var hsOwners []int
+			hsLinks = hsLinks[:0]
+			hsOwners = hsOwners[:0]
 			for u := 0; u < n; u++ {
 				if state[u] == Active || state[u] == Allocated || state[u] == Control {
 					hsLinks = append(hsLinks, cfg.Links[linkOf[u]])
@@ -296,10 +301,11 @@ func Run(cfg Config) (*Result, error) {
 
 			// Verification SCREAM: previously scheduled edges veto when
 			// their handshake failed under the newcomers' interference.
+			// hsOK is only ever read for this step's owners, so stale
+			// entries from earlier steps need no clearing.
 			for u := range vars {
 				vars[u] = false
 			}
-			hsOK := make(map[int]bool, len(hsOwners))
 			for i, u := range hsOwners {
 				hsOK[u] = outcome[i]
 				if (state[u] == Allocated || state[u] == Control) && !outcome[i] {

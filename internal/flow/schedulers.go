@@ -127,13 +127,18 @@ func NewProtocolScheduler(cfg ProtocolSchedulerConfig) (Scheduler, error) {
 		}
 		name = fmt.Sprintf("PDD(p=%.2f)", cfg.P)
 	}
+	// Build (and validate) the backend once; every epoch clones it, which
+	// shares the sensitivity adjacency but gives the run fresh time
+	// accounting and engine state, instead of re-deriving the adjacency and
+	// re-checking the interference diameter per epoch.
+	proto, err := core.NewIdealBackend(cfg.Channel, cfg.Sens, k, tm, false)
+	if err != nil {
+		return Scheduler{}, err
+	}
 	return Scheduler{
 		Name: name,
 		Build: func(demands []int, epoch int) (*sched.Schedule, des.Time, error) {
-			b, err := core.NewIdealBackend(cfg.Channel, cfg.Sens, k, tm, false)
-			if err != nil {
-				return nil, 0, err
-			}
+			b := proto.Clone()
 			run := core.Config{
 				Variant: cfg.Variant,
 				Links:   cfg.Links,

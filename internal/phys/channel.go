@@ -3,6 +3,7 @@ package phys
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Channel captures everything the interference model needs about a deployed
@@ -10,11 +11,18 @@ import (
 // (propagation plus optional static shadowing), background noise, and the
 // SINR threshold beta. The paper assumes fixed (but possibly heterogeneous)
 // transmit power and no power control (Section II).
+//
+// A Channel must not be copied after first use: it lazily caches the
+// pairwise RX-power matrix behind a sync.Once so that concurrent readers
+// (e.g. the experiment engine's workers sharing one deployment) are safe.
 type Channel struct {
 	txPowerMW []float64
 	gain      [][]float64 // gain[i][j]: linear gain from node i to node j
 	noiseMW   float64
 	beta      float64 // linear SINR threshold
+
+	rxOnce sync.Once
+	rxFlat []float64 // row-major n*n cache of P_v(u) = txPowerMW[u]*Gain(u,v)
 }
 
 // NewChannel builds a channel from per-node TX powers (mW), a gain matrix
@@ -64,9 +72,29 @@ func (c *Channel) Gain(u, v int) float64 {
 	return c.gain[u][v]
 }
 
+// rxMatrix returns the row-major n*n matrix of received powers, building it
+// on first use. The entries are exactly txPowerMW[u]*Gain(u,v) — the same
+// single multiplication RxPowerMW used to perform per call — so cached and
+// uncached reads are bit-identical. Safe for concurrent use.
+func (c *Channel) rxMatrix() []float64 {
+	c.rxOnce.Do(func() {
+		n := len(c.txPowerMW)
+		rx := make([]float64, n*n)
+		for u := 0; u < n; u++ {
+			row := rx[u*n : (u+1)*n]
+			p := c.txPowerMW[u]
+			for v := 0; v < n; v++ {
+				row[v] = p * c.Gain(u, v)
+			}
+		}
+		c.rxFlat = rx
+	})
+	return c.rxFlat
+}
+
 // RxPowerMW returns P_v(u): the power received at v when u transmits.
 func (c *Channel) RxPowerMW(u, v int) float64 {
-	return c.txPowerMW[u] * c.Gain(u, v)
+	return c.rxMatrix()[u*len(c.txPowerMW)+v]
 }
 
 // SNR returns the interference-free signal-to-noise ratio of a transmission

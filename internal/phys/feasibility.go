@@ -116,100 +116,8 @@ func (c *Channel) HandshakeOutcome(links []Link) []bool {
 	return ok
 }
 
-// SlotChecker incrementally maintains the feasibility state of one slot so a
-// greedy scheduler can test "can link l join this slot?" in O(k) time for a
-// slot holding k links. It mirrors FeasibleSet exactly.
-type SlotChecker struct {
-	c          *Channel
-	links      []Link
-	dataInterf []float64 // interference at links[i].To from other data senders
-	ackInterf  []float64 // interference at links[i].From from other ACK senders
-	busy       map[int]bool
-	ignoreAck  bool
-}
-
-// NewSlotChecker returns an empty slot bound to channel c.
-func NewSlotChecker(c *Channel) *SlotChecker {
-	return &SlotChecker{c: c, busy: make(map[int]bool)}
-}
-
-// NewSlotCheckerDataOnly returns a checker that ignores the ACK sub-slot
-// inequality. It exists for the ablation quantifying how much the paper's
-// link-layer-reliability extension of the interference model matters:
-// schedules it accepts may be infeasible under the full model.
-func NewSlotCheckerDataOnly(c *Channel) *SlotChecker {
-	return &SlotChecker{c: c, busy: make(map[int]bool), ignoreAck: true}
-}
-
-// Len returns the number of links currently in the slot.
-func (s *SlotChecker) Len() int { return len(s.links) }
-
-// Links returns a copy of the links currently in the slot.
-func (s *SlotChecker) Links() []Link {
-	out := make([]Link, len(s.links))
-	copy(out, s.links)
-	return out
-}
-
-// CanAdd reports whether adding l keeps the slot feasible: l itself must
-// clear both SINR inequalities against the current slot, every current link
-// must survive l's added data and ACK interference, and l must not share an
-// endpoint with any current link.
-func (s *SlotChecker) CanAdd(l Link) bool {
-	if l.From == l.To || s.busy[l.From] || s.busy[l.To] {
-		return false
-	}
-	c := s.c
-	beta, noise := c.beta, c.noiseMW
-
-	// New link's own inequalities.
-	dataInterf, ackInterf := 0.0, 0.0
-	for _, m := range s.links {
-		dataInterf += c.RxPowerMW(m.From, l.To)
-		ackInterf += c.RxPowerMW(m.To, l.From)
-	}
-	if c.RxPowerMW(l.From, l.To) < beta*(noise+dataInterf) {
-		return false
-	}
-	if !s.ignoreAck && c.RxPowerMW(l.To, l.From) < beta*(noise+ackInterf) {
-		return false
-	}
-	// Existing links under the extra interference from l.
-	for i, m := range s.links {
-		if c.RxPowerMW(m.From, m.To) < beta*(noise+s.dataInterf[i]+c.RxPowerMW(l.From, m.To)) {
-			return false
-		}
-		if !s.ignoreAck && c.RxPowerMW(m.To, m.From) < beta*(noise+s.ackInterf[i]+c.RxPowerMW(l.To, m.From)) {
-			return false
-		}
-	}
-	return true
-}
-
-// Add inserts l into the slot, updating interference tallies. Callers are
-// expected to have checked CanAdd; Add does not re-verify feasibility.
-func (s *SlotChecker) Add(l Link) {
-	c := s.c
-	dataInterf, ackInterf := 0.0, 0.0
-	for i, m := range s.links {
-		s.dataInterf[i] += c.RxPowerMW(l.From, m.To)
-		s.ackInterf[i] += c.RxPowerMW(l.To, m.From)
-		dataInterf += c.RxPowerMW(m.From, l.To)
-		ackInterf += c.RxPowerMW(m.To, l.From)
-	}
-	s.links = append(s.links, l)
-	s.dataInterf = append(s.dataInterf, dataInterf)
-	s.ackInterf = append(s.ackInterf, ackInterf)
-	s.busy[l.From] = true
-	s.busy[l.To] = true
-}
-
-// Reset empties the slot for reuse.
-func (s *SlotChecker) Reset() {
-	s.links = s.links[:0]
-	s.dataInterf = s.dataInterf[:0]
-	s.ackInterf = s.ackInterf[:0]
-	for k := range s.busy {
-		delete(s.busy, k)
-	}
-}
+// The incremental counterpart of FeasibleSet and HandshakeOutcome — O(k)
+// admission checks and handshake evaluation over running interference sums —
+// lives in SlotState (slotstate.go). FeasibleSet and HandshakeOutcome above
+// are kept as the naive reference implementations its property tests and
+// Schedule.Verify compare against.

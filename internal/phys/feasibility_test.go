@@ -313,11 +313,11 @@ func TestHandshakeAckOnlyFromDecodedReceivers(t *testing.T) {
 	}
 }
 
-func TestSlotCheckerMatchesFeasibleSet(t *testing.T) {
+func TestSlotStateMatchesFeasibleSet(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	ch := lineChannel(t, 20, 35, 20)
 	for trial := 0; trial < 500; trial++ {
-		sc := NewSlotChecker(ch)
+		sc := NewSlotState(ch)
 		var accepted []Link
 		for k := 0; k < 6; k++ {
 			a := rng.Intn(19)
@@ -329,7 +329,7 @@ func TestSlotCheckerMatchesFeasibleSet(t *testing.T) {
 				sc.Add(l)
 				accepted = append(accepted, l)
 				if !ch.FeasibleSet(accepted) {
-					t.Fatalf("SlotChecker accepted infeasible set %v (trial %d)", accepted, trial)
+					t.Fatalf("SlotState accepted infeasible set %v (trial %d)", accepted, trial)
 				}
 			}
 		}
@@ -339,9 +339,9 @@ func TestSlotCheckerMatchesFeasibleSet(t *testing.T) {
 	}
 }
 
-func TestSlotCheckerRejectsConflict(t *testing.T) {
+func TestSlotStateRejectsConflict(t *testing.T) {
 	ch := lineChannel(t, 10, 30, 20)
-	sc := NewSlotChecker(ch)
+	sc := NewSlotState(ch)
 	if !sc.CanAdd(Link{0, 1}) {
 		t.Fatal("first link should be addable")
 	}
@@ -354,9 +354,9 @@ func TestSlotCheckerRejectsConflict(t *testing.T) {
 	}
 }
 
-func TestSlotCheckerReset(t *testing.T) {
+func TestSlotStateReset(t *testing.T) {
 	ch := lineChannel(t, 10, 30, 20)
-	sc := NewSlotChecker(ch)
+	sc := NewSlotState(ch)
 	sc.Add(Link{0, 1})
 	sc.Reset()
 	if sc.Len() != 0 {
@@ -367,9 +367,9 @@ func TestSlotCheckerReset(t *testing.T) {
 	}
 }
 
-func TestSlotCheckerLinksCopy(t *testing.T) {
+func TestSlotStateLinksCopy(t *testing.T) {
 	ch := lineChannel(t, 10, 30, 20)
-	sc := NewSlotChecker(ch)
+	sc := NewSlotState(ch)
 	sc.Add(Link{0, 1})
 	links := sc.Links()
 	links[0] = Link{5, 6}

@@ -127,10 +127,10 @@ func TestHandshakeConsistentWithModel(t *testing.T) {
 	}
 }
 
-// TestSlotCheckerOrderIndependence: the set accepted by a slot is feasible
+// TestSlotStateOrderIndependence: the set accepted by a slot is feasible
 // regardless of insertion order, and CanAdd agrees with FeasibleSet on the
 // union at every step.
-func TestSlotCheckerOrderIndependence(t *testing.T) {
+func TestSlotStateOrderIndependence(t *testing.T) {
 	ch := lineChannel(t, 20, 35, 20)
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 200; trial++ {
@@ -160,7 +160,7 @@ func TestSlotCheckerOrderIndependence(t *testing.T) {
 					order[i], order[j] = order[j], order[i]
 				}
 			}
-			sc := NewSlotChecker(ch)
+			sc := NewSlotState(ch)
 			acceptedAll := true
 			for _, i := range order {
 				if sc.CanAdd(links[i]) {

@@ -56,16 +56,16 @@ func (p *ProtocolModel) FeasibleSet(links []Link) bool {
 }
 
 // ProtocolSlotChecker incrementally maintains protocol-model slot
-// feasibility, mirroring SlotChecker so greedy schedulers can swap models.
+// feasibility, mirroring SlotState so greedy schedulers can swap models.
 type ProtocolSlotChecker struct {
 	p     *ProtocolModel
 	links []Link
-	busy  map[int]bool
+	busy  []bool // by node: is an endpoint of a slot link
 }
 
 // NewProtocolSlotChecker returns an empty protocol-model slot.
 func NewProtocolSlotChecker(p *ProtocolModel) *ProtocolSlotChecker {
-	return &ProtocolSlotChecker{p: p, busy: make(map[int]bool)}
+	return &ProtocolSlotChecker{p: p, busy: make([]bool, p.ch.NumNodes())}
 }
 
 // Len returns the number of links in the slot.

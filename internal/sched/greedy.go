@@ -78,7 +78,7 @@ func orderEdges(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering
 // it keeps the slot feasible, appending new slots when needed. The returned
 // schedule always satisfies Verify against the same inputs.
 func GreedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
-	return greedyPhysical(ch, links, demands, ord, phys.NewSlotChecker)
+	return greedyPhysical(ch, links, demands, ord, false)
 }
 
 // GreedyPhysicalDataOnly is GreedyPhysical with the ACK sub-slot inequality
@@ -86,10 +86,10 @@ func GreedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Orde
 // paper's link-layer-reliability extension). Its schedules may fail Verify
 // under the full model; CountInfeasibleSlots quantifies by how much.
 func GreedyPhysicalDataOnly(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
-	return greedyPhysical(ch, links, demands, ord, phys.NewSlotCheckerDataOnly)
+	return greedyPhysical(ch, links, demands, ord, true)
 }
 
-func greedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering, newChecker func(*phys.Channel) *phys.SlotChecker) (*Schedule, error) {
+func greedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering, dataOnly bool) (*Schedule, error) {
 	if len(links) != len(demands) {
 		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
 	}
@@ -102,25 +102,42 @@ func greedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Orde
 		}
 	}
 
-	s := NewSchedule()
-	var checkers []*phys.SlotChecker
+	// Slot states live in fixed-size slabs: constructing a schedule touches
+	// hundreds of slots, so one heap allocation per slot (or copying the
+	// states around as a flat slice grows) would dominate the incremental
+	// feasibility checks themselves. Slabs never move, which SlotState's
+	// inline small-slot storage requires.
+	const slabSize = 64
+	var slabs []*[slabSize]phys.SlotState
+	var slots []*phys.SlotState
 	for _, ei := range orderEdges(ch, links, demands, ord) {
 		l := links[ei]
 		remaining := demands[ei]
 		for slot := 0; remaining > 0; slot++ {
-			if slot == len(checkers) {
-				checkers = append(checkers, newChecker(ch))
+			if slot == len(slots) {
+				if slot%slabSize == 0 {
+					slabs = append(slabs, new([slabSize]phys.SlotState))
+				}
+				st := &slabs[len(slabs)-1][slot%slabSize]
+				if dataOnly {
+					st.InitDataOnly(ch)
+				} else {
+					st.Init(ch)
+				}
+				slots = append(slots, st)
 			}
-			if checkers[slot].CanAdd(l) {
-				checkers[slot].Add(l)
-				s.AddToSlot(slot, l)
+			if slots[slot].CanAdd(l) {
+				slots[slot].Add(l)
 				remaining--
 			}
 		}
 	}
-	// Drop trailing empty slots (possible only if all demands were zero).
-	for s.Length() > 0 && len(s.slots[s.Length()-1]) == 0 {
-		s.slots = s.slots[:s.Length()-1]
+	// Materialize the schedule from the slot states; each holds its links
+	// in admission order. A slot is only ever created by a link that then
+	// joins it (singleton feasibility was pre-validated), so none is empty.
+	s := &Schedule{slots: make([][]phys.Link, len(slots))}
+	for i, st := range slots {
+		s.slots[i] = st.Links()
 	}
 	return s, nil
 }

@@ -1,0 +1,32 @@
+#!/bin/sh
+# check_determinism.sh — assert figgen output is byte-identical for any
+# worker count. Runs the requested figures with -workers 1 and -workers 8,
+# strips only the wall-clock annotation, and diffs the two outputs.
+#
+# Usage: scripts/check_determinism.sh [figgen args...]
+#   e.g. scripts/check_determinism.sh -fig all -quick
+#        scripts/check_determinism.sh -fig flow
+#
+# FIGGEN overrides the figgen invocation (default: go run ./cmd/figgen),
+# letting CI reuse a prebuilt binary instead of a cold compile.
+set -eu
+
+: "${FIGGEN:=go run ./cmd/figgen}"
+
+raw=$(mktemp) || exit 1
+w1=$(mktemp) || exit 1
+w8=$(mktemp) || exit 1
+trap 'rm -f "$raw" "$w1" "$w8"' EXIT
+
+# Capture figgen output before stripping the timestamp so a figgen failure
+# fails the script (a pipeline would report only sed's exit status).
+$FIGGEN "$@" -ascii=false -workers 1 > "$raw"
+sed 's/generated in [^)]*/generated in X/' "$raw" > "$w1"
+$FIGGEN "$@" -ascii=false -workers 8 > "$raw"
+sed 's/generated in [^)]*/generated in X/' "$raw" > "$w8"
+
+if ! diff "$w1" "$w8"; then
+    echo "determinism check FAILED for: figgen $*" >&2
+    exit 1
+fi
+echo "determinism OK for: figgen $*"
