@@ -7,9 +7,17 @@
 // The offered load is expressed relative to the mesh's static capacity (the
 // greedy frame serving one packet per router): -load 0.8 offers 0.8x that.
 //
-// Example:
+// Topology dynamics run underneath when requested: -failrate drives node
+// churn (with -downtime repairs and optionally -failgw gateway outages) and
+// -mobility moves the routers (waypoint or drift at -speed). Adaptive
+// schedulers (greedy, fdd, pdd) re-plan on the incrementally repaired
+// routing forest at epoch boundaries; tdma keeps its static frame.
+//
+// Examples:
 //
 //	flowsim -rows 8 -cols 8 -step 36 -tx 4 -scheduler fdd -arrival poisson -load 0.8 -horizon 5
+//	flowsim -scheduler greedy -load 0.5 -failrate 0.5 -downtime 0.5 -horizon 5
+//	flowsim -scheduler pdd -mobility waypoint -speed 10 -horizon 5
 package main
 
 import (
@@ -19,6 +27,17 @@ import (
 
 	"scream"
 )
+
+// dynFlags collects the topology-dynamics command line.
+type dynFlags struct {
+	failRate float64
+	downtime float64
+	failGW   bool
+	mobility string
+	speed    float64
+	pause    float64
+	moveInt  float64
+}
 
 func main() {
 	var (
@@ -35,15 +54,23 @@ func main() {
 		quota     = flag.Int("quota", 8, "per-link service quota per epoch (0 = unbounded)")
 		maxQueue  = flag.Int("maxqueue", 0, "per-link queue cap in packets (0 = unbounded)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		dyn       dynFlags
 	)
+	flag.Float64Var(&dyn.failRate, "failrate", 0, "node failures per node per second (0 = no churn)")
+	flag.Float64Var(&dyn.downtime, "downtime", 0, "mean node repair time (s); 0 = failures are permanent")
+	flag.BoolVar(&dyn.failGW, "failgw", false, "let gateways fail too")
+	flag.StringVar(&dyn.mobility, "mobility", "none", "mobility model: none, waypoint, drift")
+	flag.Float64Var(&dyn.speed, "speed", 5, "mobility speed (m/s)")
+	flag.Float64Var(&dyn.pause, "pause", 0.2, "waypoint pause time (s)")
+	flag.Float64Var(&dyn.moveInt, "moveint", 0.1, "mobility position sampling interval (s)")
 	flag.Parse()
-	if err := run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *seed); err != nil {
+	if err := run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *seed, dyn); err != nil {
 		fmt.Fprintln(os.Stderr, "flowsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue int, seed int64) error {
+func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue int, seed int64, dyn dynFlags) error {
 	mesh, err := scream.NewGridMesh(scream.GridMeshConfig{
 		Rows: rows, Cols: cols, StepMeters: step, TxPowerDBm: tx, Seed: seed,
 	})
@@ -127,9 +154,35 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 		arrivals[u] = a
 	}
 
+	var dynOpts *scream.DynamicsOptions
+	if dyn.failRate != 0 || dyn.mobility != "none" {
+		dynOpts = &scream.DynamicsOptions{
+			FailRate:     dyn.failRate,
+			MeanDowntime: scream.SimTime(dyn.downtime * float64(scream.Second)),
+			FailGateways: dyn.failGW,
+			SpeedMps:     dyn.speed,
+			Pause:        scream.SimTime(dyn.pause * float64(scream.Second)),
+			MoveInterval: scream.SimTime(dyn.moveInt * float64(scream.Second)),
+		}
+		switch dyn.mobility {
+		case "none":
+		case "waypoint":
+			dynOpts.Mobility = scream.MobilityWaypoint
+		case "drift":
+			dynOpts.Mobility = scream.MobilityDrift
+		default:
+			return fmt.Errorf("unknown mobility model %q", dyn.mobility)
+		}
+	}
+
 	fmt.Printf("mesh: %d nodes, %d links, gateways %v\n", n, len(mesh.Links), mesh.Gateways())
-	fmt.Printf("      static capacity frame %.4fs -> per-node rate %.1f pkt/s at load %.2fx\n\n",
+	fmt.Printf("      static capacity frame %.4fs -> per-node rate %.1f pkt/s at load %.2fx\n",
 		frame.Seconds(), rate, load)
+	if dynOpts != nil {
+		fmt.Printf("      dynamics: failrate %.3g/node/s, mean downtime %.3gs, mobility %s (%.3g m/s)\n",
+			dyn.failRate, dyn.downtime, dyn.mobility, dyn.speed)
+	}
+	fmt.Println()
 
 	res, err := scream.RunFlow(mesh, scream.FlowOptions{
 		Scheduler:      scheduler,
@@ -140,6 +193,7 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 		MaxQueue:       maxQueue,
 		MaxService:     quota,
 		FramesPerEpoch: frames,
+		Dynamics:       dynOpts,
 	})
 	if err != nil {
 		return err
@@ -157,6 +211,20 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 		100*res.ControlFraction,
 		100*res.DataTime.Seconds()/res.Elapsed.Seconds(),
 		100*res.IdleTime.Seconds()/res.Elapsed.Seconds())
+	if res.FailEvents+res.RecoverEvents+res.MoveEvents > 0 {
+		fmt.Printf("  dynamics   %d fail / %d recover / %d move events   %d repairs (%d rebuilds)   repair time %.4fs\n",
+			res.FailEvents, res.RecoverEvents, res.MoveEvents, res.Repairs, res.Rebuilds, res.RepairTime.Seconds())
+		fmt.Printf("  disruption %d pkts lost on dead nodes   peak backlog in outage %d\n",
+			res.LostOnFailure, res.PeakBacklogDuringOutage)
+		if res.PreEventGoodputPps > 0 {
+			if res.Recovered {
+				fmt.Printf("  recovery   %.4fs back to %.1f pkt/s (90%% of pre-event %.1f)\n",
+					res.RecoveryTime.Seconds(), 0.9*res.PreEventGoodputPps, res.PreEventGoodputPps)
+			} else {
+				fmt.Printf("  recovery   never reached 90%% of pre-event %.1f pkt/s\n", res.PreEventGoodputPps)
+			}
+		}
+	}
 	return nil
 }
 

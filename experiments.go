@@ -32,6 +32,14 @@ func Fig9(opts ExperimentOptions) (*Figure, error) { return exp.Fig9(opts) }
 // see the "Dynamic traffic" section of DESIGN.md).
 func FigFlowLoad(opts ExperimentOptions) (*Figure, error) { return exp.FigFlowLoad(opts) }
 
+// FigChurn sweeps the per-node failure rate through the flow-level
+// simulator with the topology-dynamics driver underneath: delivered goodput
+// under churn for the adaptive schedulers (Centralized, FDD, PDD p=0.8,
+// re-planning on the incrementally repaired forest at epoch boundaries)
+// against a static TDMA frame (extension; see the "Topology dynamics"
+// section of DESIGN.md).
+func FigChurn(opts ExperimentOptions) (*Figure, error) { return exp.FigChurn(opts) }
+
 // Ablations for the design choices called out in DESIGN.md.
 
 // AblationPDDProbability sweeps PDD's activation probability p.

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"scream/internal/core"
+	"scream/internal/dynam"
 	"scream/internal/flow"
 	"scream/internal/traffic"
 )
@@ -73,7 +74,69 @@ type FlowOptions struct {
 	// IdleWait is the backlog re-check period when the network is empty
 	// (0 = one handshake slot).
 	IdleWait SimTime
+	// Dynamics, when non-nil, drives node churn and mobility during the
+	// run (the mesh itself is never mutated — the run operates on a clone).
+	Dynamics *DynamicsOptions
 }
+
+// MobilityKind selects the node mobility model of a dynamics run.
+type MobilityKind int
+
+const (
+	// MobilityNone keeps node positions static.
+	MobilityNone MobilityKind = iota
+	// MobilityWaypoint is the classical random-waypoint walk: travel to a
+	// uniform waypoint at SpeedMps, pause, repeat.
+	MobilityWaypoint
+	// MobilityDrift gives each node a constant random-heading velocity,
+	// reflecting off the deployment region boundary.
+	MobilityDrift
+)
+
+// DynamicsOptions parameterizes topology dynamics for RunFlow: node churn
+// (failures and repairs, optionally including gateways) and node mobility.
+// Events take effect at epoch boundaries: queues on dead nodes are dropped,
+// the routing forest is repaired incrementally (full rebuild on partition or
+// gateway outage), adaptive schedulers re-plan on the repaired topology at a
+// RepairCost of two SCREAM floods, and the static TDMA baseline keeps its
+// frame structure with dead-endpoint transmissions suppressed. Disruption
+// metrics land in FlowResult (LostOnFailure, Recovered, RecoveryTime, ...).
+type DynamicsOptions struct {
+	// FailRate is the expected number of failures per node per simulated
+	// second; 0 disables churn.
+	FailRate float64
+	// MeanDowntime is the mean repair time after a failure; 0 makes
+	// failures permanent.
+	MeanDowntime SimTime
+	// FailGateways includes gateways in the churn process.
+	FailGateways bool
+	// Mobility selects the mobility model (default MobilityNone).
+	Mobility MobilityKind
+	// SpeedMps is the mobility speed in meters per second.
+	SpeedMps float64
+	// Pause is the random-waypoint dwell time at each waypoint.
+	Pause SimTime
+	// MoveInterval is the position sampling period (0 = 100 ms).
+	MoveInterval SimTime
+	// Script, when non-nil, replaces the generated timeline with explicit
+	// events (testing hook; see dynam.Event).
+	Script []DynamicsEvent
+}
+
+// Dynamics-related aliases re-exported from internal/dynam.
+type (
+	// DynamicsEvent is one scripted topology event.
+	DynamicsEvent = dynam.Event
+	// DynamicsMobility is a custom mobility model implementation.
+	DynamicsMobility = dynam.Mobility
+)
+
+// Scripted dynamics event kinds.
+const (
+	NodeFail    = dynam.Fail
+	NodeRecover = dynam.Recover
+	NodeMove    = dynam.Move
+)
 
 // NewCBR returns a constant-rate arrival process (packets per second).
 func NewCBR(rate float64) (Arrival, error) { return traffic.NewCBR(rate) }
@@ -98,23 +161,62 @@ func HotspotRates(n int, s, v float64, max uint64, seed int64) ([]float64, error
 // RunFlow runs a flow-level dynamic traffic simulation on the mesh: packets
 // arrive at source nodes per opts.Arrivals, queue on forest links, and are
 // drained by the selected scheduler's epoch-based schedules until the
-// horizon. See FlowResult for the metrics returned.
+// horizon. With opts.Dynamics set, node churn and mobility run underneath
+// (on a private clone of the mesh's network — the Mesh is never mutated).
+// See FlowResult for the metrics returned.
 func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 	tm := opts.Timing
 	if tm == (Timing{}) {
 		tm = DefaultTiming()
 	}
+	// The network view the run operates on: the mesh's own for static runs,
+	// an exclusively-owned clone when dynamics mutate it. Schedulers must be
+	// built over the same view the dynamics world mutates.
+	net := m.Network
 	var (
-		scheduler flow.Scheduler
-		err       error
+		world      *dynam.World
+		repairCost SimTime
+		err        error
 	)
+	if opts.Dynamics != nil {
+		d := opts.Dynamics
+		dcfg := dynam.Config{
+			FailRate:     d.FailRate,
+			MeanDowntime: d.MeanDowntime,
+			FailGateways: d.FailGateways,
+			MoveInterval: d.MoveInterval,
+			Horizon:      opts.Horizon,
+			Seed:         opts.Seed,
+			Script:       d.Script,
+		}
+		switch d.Mobility {
+		case MobilityNone:
+		case MobilityWaypoint:
+			dcfg.Mobility = dynam.RandomWaypoint{SpeedMps: d.SpeedMps, Pause: d.Pause}
+		case MobilityDrift:
+			dcfg.Mobility = dynam.Drift{SpeedMps: d.SpeedMps}
+		default:
+			return nil, fmt.Errorf("scream: unknown mobility model %d", d.Mobility)
+		}
+		net = m.Network.Clone()
+		world, err = dynam.NewWorld(net, m.Forest, dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("scream: %w", err)
+		}
+		k := opts.K
+		if k == 0 {
+			k = net.InterferenceDiameter()
+		}
+		repairCost = tm.RepairCost(k)
+	}
+	var scheduler flow.Scheduler
 	switch opts.Scheduler {
 	case FlowGreedy, 0:
 		ord := opts.Ordering
 		if ord == 0 {
 			ord = ByHeadIDDesc
 		}
-		scheduler = flow.NewGreedyScheduler(m.Network.Channel, m.Links, ord)
+		scheduler = flow.NewGreedyScheduler(net.Channel, m.Links, ord)
 	case FlowTDMA:
 		scheduler = flow.NewTDMAScheduler(m.Links)
 	case FlowFDD, FlowPDD:
@@ -123,8 +225,8 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 			variant = core.PDD
 		}
 		scheduler, err = flow.NewProtocolScheduler(flow.ProtocolSchedulerConfig{
-			Channel: m.Network.Channel,
-			Sens:    m.Network.Sens,
+			Channel: net.Channel,
+			Sens:    net.Sens,
 			Links:   m.Links,
 			K:       opts.K,
 			Timing:  tm,
@@ -150,6 +252,8 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 		MaxService:     opts.MaxService,
 		FramesPerEpoch: opts.FramesPerEpoch,
 		IdleWait:       opts.IdleWait,
+		Dynamics:       world,
+		RepairCost:     repairCost,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scream: %w", err)

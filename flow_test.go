@@ -69,6 +69,73 @@ func TestRunFlow(t *testing.T) {
 	}
 }
 
+// TestRunFlowDynamics drives every scheduler through the public dynamics
+// API: churn plus waypoint mobility on a private clone — the mesh itself
+// must come out of the run untouched.
+func TestRunFlowDynamics(t *testing.T) {
+	m := flowTestMesh(t)
+	before := m.Network.Channel.RxPowerMW(0, 1)
+	frame, err := m.FlowFrameTime(Timing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 0.5 / frame.Seconds()
+	for _, sched := range []FlowScheduler{FlowGreedy, FlowFDD, FlowPDD, FlowTDMA} {
+		res, err := RunFlow(m, FlowOptions{
+			Scheduler:      sched,
+			P:              0.8,
+			Arrivals:       flowTestArrivals(t, m, rate),
+			Horizon:        400 * Millisecond,
+			Seed:           7,
+			MaxService:     8,
+			FramesPerEpoch: 8,
+			Dynamics: &DynamicsOptions{
+				FailRate:     8,
+				MeanDowntime: 40 * Millisecond,
+				Mobility:     MobilityWaypoint,
+				SpeedMps:     10,
+				Pause:        20 * Millisecond,
+				MoveInterval: 10 * Millisecond,
+			},
+		})
+		if err != nil {
+			t.Fatalf("scheduler %d: %v", sched, err)
+		}
+		if res.FailEvents == 0 || res.MoveEvents == 0 {
+			t.Errorf("scheduler %d: dynamics inert (%d fail, %d move events)", sched, res.FailEvents, res.MoveEvents)
+		}
+		if res.Delivered == 0 {
+			t.Errorf("scheduler %d delivered nothing under dynamics (offered %d)", sched, res.Offered)
+		}
+		if got := res.Delivered + res.Dropped + res.LostOnFailure + res.FinalBacklog; got != res.Offered {
+			t.Errorf("scheduler %d: conservation %d != offered %d", sched, got, res.Offered)
+		}
+	}
+	if got := m.Network.Channel.RxPowerMW(0, 1); got != before {
+		t.Fatalf("RunFlow with dynamics mutated the mesh channel: %v -> %v", before, got)
+	}
+	if m.Network.IsDown(1) {
+		t.Fatal("RunFlow with dynamics marked a mesh node down")
+	}
+	// Scripted bursts work through the public API too.
+	res, err := RunFlow(m, FlowOptions{
+		Arrivals:       flowTestArrivals(t, m, rate),
+		Horizon:        300 * Millisecond,
+		Seed:           3,
+		MaxService:     8,
+		FramesPerEpoch: 8,
+		Dynamics: &DynamicsOptions{
+			Script: []DynamicsEvent{{At: 100 * Millisecond, Kind: NodeFail, Node: 1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailEvents != 1 {
+		t.Fatalf("scripted burst not applied: %d fail events", res.FailEvents)
+	}
+}
+
 func TestHotspotRatesRoot(t *testing.T) {
 	rates, err := HotspotRates(64, 1.5, 1, 32, 3)
 	if err != nil {

@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"scream/internal/des"
 	"scream/internal/graph"
 	"scream/internal/phys"
 )
+
+// ErrSensDisconnected reports that the sensitivity graph is disconnected
+// among the participating nodes, so a SCREAM flood cannot saturate and no
+// distributed control decision can be made.
+var ErrSensDisconnected = errors.New("core: sensitivity graph disconnected among alive nodes (ID = inf); SCREAM cannot work")
 
 // Backend executes the protocols' physical-layer primitives and accounts for
 // the time they consume. Two implementations exist: the IdealBackend below
@@ -120,6 +126,42 @@ func NewIdealBackend(ch *phys.Channel, sens *graph.Graph, k int, timing Timing, 
 		}
 	}
 	return &IdealBackend{ch: ch, sensAdj: adj, k: k, timing: timing, strict: strict}, nil
+}
+
+// NewIdealBackendAmong builds an ideal backend for a network where only the
+// nodes with alive[u] true participate: failed radios hold no sensitivity
+// edges (the topology-dynamics layer silences them), so the full-graph
+// strong-connectivity check of NewIdealBackend can never pass. The SCREAM
+// length used is max(kFloor, diameter among alive nodes, 1) — the bound
+// SCREAM actually needs, since dead nodes neither scream nor relay and no
+// live protocol state depends on their view; kFloor only ever raises it.
+// When the alive sensitivity graph is disconnected the error wraps
+// ErrSensDisconnected. The fast OR shortcut stays exact for every
+// participating node.
+func NewIdealBackendAmong(ch *phys.Channel, sens *graph.Graph, alive []bool, kFloor int, timing Timing) (*IdealBackend, error) {
+	if sens.NumNodes() != ch.NumNodes() {
+		return nil, fmt.Errorf("core: sensitivity graph has %d nodes, channel %d", sens.NumNodes(), ch.NumNodes())
+	}
+	if len(alive) != ch.NumNodes() {
+		return nil, fmt.Errorf("core: %d alive flags for %d nodes", len(alive), ch.NumNodes())
+	}
+	id := sens.DiameterAmong(alive)
+	if id < 0 {
+		return nil, ErrSensDisconnected
+	}
+	k := kFloor
+	if k < id {
+		k = id
+	}
+	if k < 1 {
+		k = 1 // degenerate single-participant networks still pay one slot
+	}
+	b, err := NewIdealBackend(ch, sens, k, timing, true)
+	if err != nil {
+		return nil, err
+	}
+	b.strict = false // fast OR is exact: k covers the alive diameter
+	return b, nil
 }
 
 // NumNodes implements Backend.

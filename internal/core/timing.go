@@ -73,3 +73,16 @@ func (t Timing) AckSubSlot() des.Time {
 func (t Timing) HandshakeSlot() des.Time {
 	return t.DataSubSlot() + t.AckSubSlot()
 }
+
+// RepairCost returns the control-time price of reacting to a topology
+// change: one SCREAM flood (k slots) to detect the change and agree that
+// re-planning is needed, plus one flood to disseminate the repaired routing
+// forest — the same collision-resilient primitive the protocols already pay
+// for every control decision. The flow-level simulator charges this per
+// applied event batch before the next control phase.
+func (t Timing) RepairCost(k int) des.Time {
+	if k < 1 {
+		k = 1
+	}
+	return 2 * des.Time(k) * t.ScreamSlot()
+}

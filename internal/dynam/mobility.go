@@ -1,0 +1,118 @@
+package dynam
+
+import (
+	"math"
+	"math/rand"
+
+	"scream/internal/des"
+	"scream/internal/geom"
+)
+
+// Mobility produces a node's trajectory. Implementations must be pure
+// functions of their inputs (all randomness from rng) so that timelines are
+// reproducible and worker-count independent.
+type Mobility interface {
+	// Trajectory returns the node's position at each sample time (samples
+	// are strictly increasing). The node starts at start at time 0 and must
+	// stay inside region.
+	Trajectory(start geom.Point, region geom.Rect, samples []des.Time, rng *rand.Rand) []geom.Point
+}
+
+// RandomWaypoint is the classical mobility model: pick a uniform waypoint in
+// the region, travel to it in a straight line at Speed, pause, repeat.
+type RandomWaypoint struct {
+	// SpeedMps is the travel speed in meters per second.
+	SpeedMps float64
+	// Pause is the dwell time at each waypoint.
+	Pause des.Time
+}
+
+// Trajectory implements Mobility.
+func (m RandomWaypoint) Trajectory(start geom.Point, region geom.Rect, samples []des.Time, rng *rand.Rand) []geom.Point {
+	out := make([]geom.Point, len(samples))
+	if m.SpeedMps <= 0 {
+		for i := range out {
+			out[i] = start
+		}
+		return out
+	}
+	pos := start
+	legStart := des.Time(0) // current leg begins here...
+	target := pos
+	var legEnd des.Time // ...and arrives at the waypoint here
+	pausedUntil := des.Time(0)
+
+	newLeg := func(now des.Time) {
+		target = geom.Point{
+			X: region.MinX + rng.Float64()*region.Width(),
+			Y: region.MinY + rng.Float64()*region.Height(),
+		}
+		legStart = now
+		legEnd = now + des.FromSeconds(pos.Dist(target)/m.SpeedMps)
+		if legEnd <= legStart {
+			legEnd = legStart + 1 // zero-length leg: keep time advancing
+		}
+	}
+	newLeg(0)
+	for i, t := range samples {
+		// Advance legs until t falls inside the current leg or pause.
+		for t >= legEnd {
+			pos = target
+			pausedUntil = legEnd + m.Pause
+			if t < pausedUntil {
+				break
+			}
+			newLeg(pausedUntil)
+		}
+		if t < legEnd && t >= legStart {
+			frac := float64(t-legStart) / float64(legEnd-legStart)
+			out[i] = pos.Add(target.Sub(pos).Scale(frac))
+		} else {
+			out[i] = pos // pausing at the waypoint
+		}
+	}
+	return out
+}
+
+// Drift moves each node with a constant per-node velocity (uniform random
+// heading, fixed speed), reflecting off the region boundary — the fixed-
+// drift model: slow, persistent topology deformation rather than the
+// random-waypoint's mixing walk.
+type Drift struct {
+	// SpeedMps is the drift speed in meters per second.
+	SpeedMps float64
+}
+
+// Trajectory implements Mobility.
+func (m Drift) Trajectory(start geom.Point, region geom.Rect, samples []des.Time, rng *rand.Rand) []geom.Point {
+	out := make([]geom.Point, len(samples))
+	theta := rng.Float64() * 2 * math.Pi
+	vx := m.SpeedMps * math.Cos(theta)
+	vy := m.SpeedMps * math.Sin(theta)
+	for i, t := range samples {
+		s := t.Seconds()
+		out[i] = geom.Point{
+			X: reflect(start.X+vx*s, region.MinX, region.MaxX),
+			Y: reflect(start.Y+vy*s, region.MinY, region.MaxY),
+		}
+	}
+	return out
+}
+
+// reflect folds an unbounded coordinate into [lo, hi] as if the trajectory
+// bounced elastically off the interval's walls.
+func reflect(x, lo, hi float64) float64 {
+	w := hi - lo
+	if w <= 0 {
+		return lo
+	}
+	// Position within a doubled period: [0, 2w) maps to lo..hi..lo.
+	x = math.Mod(x-lo, 2*w)
+	if x < 0 {
+		x += 2 * w
+	}
+	if x > w {
+		x = 2*w - x
+	}
+	return lo + x
+}

@@ -53,6 +53,9 @@ func TestEngineDeterminism(t *testing.T) {
 		// The flow figure runs whole dynamic simulations per cell; its
 		// determinism additionally covers the des-driven arrival streams.
 		{"FigFlowLoad", FigFlowLoad},
+		// The churn figure additionally covers the dynam event timelines,
+		// in-place channel mutation and incremental route repair.
+		{"FigChurn", FigChurn},
 	}
 	for _, r := range runners {
 		r := r

@@ -30,11 +30,14 @@
 package flow
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"scream/internal/core"
 	"scream/internal/des"
+	"scream/internal/dynam"
+	"scream/internal/graph"
 	"scream/internal/phys"
 	"scream/internal/route"
 	"scream/internal/sched"
@@ -42,15 +45,35 @@ import (
 	"scream/internal/traffic"
 )
 
+// Topology is the view of a changed network handed to adaptive schedulers:
+// the repaired forest and its links, the refreshed sensitivity graph and the
+// aliveness vector. The channel object itself is stable — the dynamics world
+// mutates it in place — so schedulers keep their channel reference.
+type Topology struct {
+	Forest *route.Forest
+	Links  []phys.Link
+	Sens   *graph.Graph
+	Alive  []bool
+}
+
 // Scheduler produces a schedule for a backlog snapshot. Build receives the
-// per-link demand vector (aligned with Config.Links) and the epoch index (for
-// deterministic per-epoch randomness) and returns the schedule together with
-// the simulated control-phase time computing it costs the network.
-// Distributed schedulers (FDD, PDD) report their real core.Result.ExecTime;
-// idealized baselines (centralized greedy, TDMA) report zero.
+// per-link demand vector (aligned with the current link set) and the epoch
+// index (for deterministic per-epoch randomness) and returns the schedule
+// together with the simulated control-phase time computing it costs the
+// network. Distributed schedulers (FDD, PDD) report their real
+// core.Result.ExecTime; idealized baselines (centralized greedy, TDMA)
+// report zero.
+//
+// Rebind, when non-nil, marks the scheduler *adaptive*: after a topology
+// change the epoch driver calls Rebind with the repaired topology and
+// subsequent Build calls receive demands aligned with the new link set. A
+// nil Rebind marks a *static* scheduler (e.g. the classical TDMA frame): it
+// keeps serving its original link set, transmissions on dead endpoints
+// simply fail — the baseline churn resilience is measured against.
 type Scheduler struct {
-	Name  string
-	Build func(demands []int, epoch int) (*sched.Schedule, des.Time, error)
+	Name   string
+	Build  func(demands []int, epoch int) (*sched.Schedule, des.Time, error)
+	Rebind func(t Topology) error
 }
 
 // Config parameterizes a dynamic traffic run.
@@ -95,6 +118,22 @@ type Config struct {
 	// IdleWait is how long the driver waits between backlog checks when
 	// the network is empty; 0 means one handshake slot.
 	IdleWait des.Time
+
+	// Dynamics, when non-nil, drives topology churn and mobility during the
+	// run. The world must have been built over this run's Forest and an
+	// exclusively-owned network whose channel the Scheduler references.
+	// Events are consumed at epoch boundaries: queues on freshly dead nodes
+	// are dropped (packets on a dead router are physically lost), adaptive
+	// schedulers are rebound to the repaired forest, static schedulers keep
+	// their original links with dead-endpoint transmissions suppressed.
+	Dynamics *dynam.World
+	// RepairCost is the simulated control-time charge for reacting to a
+	// topology change — detecting it and disseminating the repaired routes
+	// (see core.Timing.RepairCost). It is paid when an adaptive scheduler
+	// successfully rebinds (not while the control plane is down, and never
+	// by a static frame structure, which reacts to nothing). 0 means free
+	// repair.
+	RepairCost des.Time
 }
 
 // Result is the outcome of a dynamic traffic run.
@@ -135,6 +174,42 @@ type Result struct {
 	GoodputBps float64
 	// ControlFraction is ControlTime / Elapsed.
 	ControlFraction float64
+
+	// Dynamics / disruption metrics, populated only when Config.Dynamics is
+	// set.
+
+	// FailEvents, RecoverEvents and MoveEvents count applied topology
+	// events.
+	FailEvents, RecoverEvents, MoveEvents int
+	// LostOnFailure counts packets dropped from the queues of nodes that
+	// died (distinct from Dropped, the queue-cap drops).
+	LostOnFailure int
+	// Repairs counts applied topology batches (each triggers one forest
+	// repair); Rebuilds counts how many of them fell back to a full
+	// rebuild (partition or gateway-set change).
+	Repairs, Rebuilds int
+	// ControlDownEpochs counts data cycles run while the control plane was
+	// unavailable (alive sensitivity graph disconnected): the network
+	// replays its last disseminated schedule for free until connectivity
+	// returns.
+	ControlDownEpochs int
+	// RepairTime is simulated time charged for change detection and route
+	// dissemination (Config.RepairCost per batch).
+	RepairTime des.Time
+
+	// PreEventGoodputPps is the delivered goodput at the instant the first
+	// topology event batch was applied — the recovery baseline.
+	PreEventGoodputPps float64
+	// Recovered reports that, after the *last* applied event batch, some
+	// epoch boundary saw the goodput measured since that batch reach 90% of
+	// PreEventGoodputPps. RecoveryTime is the time from that batch to the
+	// boundary (0 when the baseline was zero — nothing to recover).
+	Recovered    bool
+	RecoveryTime des.Time
+	// PeakBacklogDuringOutage is the largest total backlog observed between
+	// the first applied event and the recovery point (or the horizon when
+	// the network never recovered).
+	PeakBacklogDuringOutage int
 }
 
 // packet is one end-to-end data unit moving through the queue network.
@@ -156,12 +231,30 @@ func (q *fifo) push(p packet) { q.buf = append(q.buf, p) }
 func (q *fifo) pop() packet {
 	p := q.buf[q.head]
 	q.head++
-	if q.head > 64 && q.head*2 >= len(q.buf) {
+	switch {
+	case q.head == len(q.buf):
+		// Drained: reuse the buffer from the start (keeps append from
+		// crawling rightward through a mostly-dead backing array).
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head > 64 && q.head*2 >= len(q.buf):
+		// The dead prefix passed half the buffer: compact. Amortized O(1) —
+		// at least head pops happened since the last compaction.
 		n := copy(q.buf, q.buf[q.head:])
 		q.buf = q.buf[:n]
 		q.head = 0
 	}
 	return p
+}
+
+// drop empties the queue (a failed node loses everything it held) and
+// returns how many packets were lost. Capacity is retained for reuse after
+// the node recovers.
+func (q *fifo) drop() int {
+	n := q.len()
+	q.buf = q.buf[:0]
+	q.head = 0
+	return n
 }
 
 // splitmix64 decorrelates derived seeds (one per arrival process) from the
@@ -176,6 +269,35 @@ func splitmix64(x uint64) uint64 {
 // DeriveSeed mixes a base seed with a stream index into an independent seed.
 func DeriveSeed(base int64, stream int64) int64 {
 	return int64(splitmix64(uint64(base)*0x9e3779b9 + uint64(stream)))
+}
+
+// buildOwner maps every node to its link index in links (-1 for none) and
+// validates the one-to-one node/edge mapping of Section II: every link must
+// be the forest's upstream edge of its head, each node owns at most one
+// queue, and every forwarding target must itself be drainable (or a
+// gateway), or packets forwarded to it would strand forever in a queue no
+// demand snapshot ever sees.
+func buildOwner(forest *route.Forest, links []phys.Link, n int) ([]int, error) {
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i, l := range links {
+		fl, ok := forest.EdgeOf(l.From)
+		if !ok || fl != l {
+			return nil, fmt.Errorf("flow: link %v is not the forest's upstream edge of node %d", l, l.From)
+		}
+		if owner[l.From] != -1 {
+			return nil, fmt.Errorf("flow: node %d owns more than one link", l.From)
+		}
+		owner[l.From] = i
+	}
+	for _, l := range links {
+		if !forest.IsGateway(l.To) && owner[l.To] == -1 {
+			return nil, fmt.Errorf("flow: link %v forwards to node %d, which owns no scheduled link", l, l.To)
+		}
+	}
+	return owner, nil
 }
 
 // Run executes the dynamic traffic simulation to the horizon.
@@ -197,28 +319,13 @@ func Run(cfg Config) (*Result, error) {
 	if tm == (core.Timing{}) {
 		tm = core.DefaultTiming()
 	}
-	// Every link must be a forest edge owned by its head, and each node may
-	// own at most one queue (the one-to-one node/edge mapping of Section II).
-	owner := make([]int, n) // node -> index into cfg.Links, or -1
-	for i := range owner {
-		owner[i] = -1
+	dyn := cfg.Dynamics
+	if dyn != nil && dyn.Forest() != cfg.Forest {
+		return nil, fmt.Errorf("flow: Dynamics world was not built over Config.Forest")
 	}
-	for i, l := range cfg.Links {
-		fl, ok := cfg.Forest.EdgeOf(l.From)
-		if !ok || fl != l {
-			return nil, fmt.Errorf("flow: link %v is not the forest's upstream edge of node %d", l, l.From)
-		}
-		if owner[l.From] != -1 {
-			return nil, fmt.Errorf("flow: node %d owns more than one link", l.From)
-		}
-		owner[l.From] = i
-	}
-	// Every forwarding target must itself be drainable, or packets forwarded
-	// to it would strand forever in a queue no demand snapshot ever sees.
-	for _, l := range cfg.Links {
-		if !cfg.Forest.IsGateway(l.To) && owner[l.To] == -1 {
-			return nil, fmt.Errorf("flow: link %v forwards to node %d, which owns no scheduled link", l, l.To)
-		}
+	owner, err := buildOwner(cfg.Forest, cfg.Links, n)
+	if err != nil {
+		return nil, err
 	}
 	for u, a := range cfg.Arrivals {
 		if a == nil {
@@ -275,8 +382,12 @@ func Run(cfg Config) (*Result, error) {
 			eng.At(t, fire)
 		}
 		fire = func() {
-			res.Offered++
-			enqueue(u, packet{created: eng.Now(), enqueued: eng.Now()})
+			if dyn == nil || dyn.IsAlive(u) {
+				// A dead router generates nothing; the process keeps ticking
+				// so traffic resumes when the node recovers.
+				res.Offered++
+				enqueue(u, packet{created: eng.Now(), enqueued: eng.Now()})
+			}
 			schedule()
 		}
 		schedule()
@@ -291,9 +402,128 @@ func Run(cfg Config) (*Result, error) {
 		idle = slotDur
 	}
 
-	demands := make([]int, len(cfg.Links))
+	// Topology state: the static path keeps cfg.Forest/cfg.Links for the
+	// whole run; under dynamics, adaptive schedulers follow the world's
+	// repaired forest while static ones keep the initial view (their
+	// transmissions on dead endpoints are suppressed below).
+	forest, links := cfg.Forest, cfg.Links
+	adaptive := dyn != nil && cfg.Scheduler.Rebind != nil
+
+	// Disruption bookkeeping (see the Result field docs).
+	var (
+		firstEventSeen   bool
+		baseRate         float64
+		lastEventAt      des.Time
+		deliveredAtEvent int
+		recovered        bool
+		peakOutage       int
+		pendingRebind    bool
+		lastSched        *sched.Schedule
+	)
+	applyChange := func(chg *dynam.Change) {
+		res.Repairs++
+		if chg.Repair.Rebuilt {
+			res.Rebuilds++
+		}
+		res.FailEvents += len(chg.Failed)
+		res.RecoverEvents += len(chg.Recovered)
+		res.MoveEvents += len(chg.Moved)
+		for _, u := range chg.Failed {
+			lost := queues[u].drop()
+			res.LostOnFailure += lost
+			backlog -= lost
+		}
+		if !firstEventSeen {
+			firstEventSeen = true
+			if sec := eng.Now().Seconds(); sec > 0 {
+				baseRate = float64(res.Delivered) / sec
+			}
+			res.PreEventGoodputPps = baseRate
+			if baseRate == 0 {
+				recovered, res.Recovered = true, true // nothing to recover
+			}
+			peakOutage = backlog
+		}
+		lastEventAt = eng.Now()
+		deliveredAtEvent = res.Delivered
+		if baseRate > 0 {
+			recovered, res.Recovered, res.RecoveryTime = false, false, 0
+		}
+	}
+	checkRecovery := func() {
+		if !firstEventSeen || recovered {
+			return
+		}
+		if backlog > peakOutage {
+			peakOutage = backlog
+		}
+		window := eng.Now() - lastEventAt
+		if window <= 0 {
+			return
+		}
+		if rate := float64(res.Delivered-deliveredAtEvent) / window.Seconds(); rate >= 0.9*baseRate {
+			recovered, res.Recovered, res.RecoveryTime = true, true, window
+		}
+	}
+	rebind := func() error {
+		t := Topology{Forest: dyn.Forest(), Links: dyn.Links(), Sens: dyn.Sens(), Alive: dyn.Alive()}
+		if err := cfg.Scheduler.Rebind(t); err != nil {
+			if errors.Is(err, ErrControlUnavailable) {
+				// Control plane down (alive sensitivity graph disconnected):
+				// keep the previous plan, retry every epoch.
+				pendingRebind = true
+				return nil
+			}
+			return err
+		}
+		pendingRebind = false
+		forest, links = t.Forest, t.Links
+		o, err := buildOwner(forest, links, n)
+		if err != nil {
+			return err
+		}
+		owner = o
+		return nil
+	}
+
+	demands := make([]int, len(links))
 	for eng.Now() < cfg.Horizon {
+		// Topology events take effect at epoch boundaries: apply every event
+		// due by now, drop dead queues, re-home the routes, and charge the
+		// repair dissemination cost in simulated time.
+		if dyn != nil {
+			chg, err := dyn.AdvanceTo(eng.Now())
+			if err != nil {
+				return nil, err
+			}
+			if chg != nil {
+				applyChange(chg)
+				// Rebinding is a pure function of the world state, so a
+				// retry can only succeed after the next change — attempt it
+				// exactly once per applied batch.
+				if adaptive {
+					if err := rebind(); err != nil {
+						return nil, err
+					}
+					// The repair flood is paid when it actually happens: on
+					// the successful rebind, not while the control plane is
+					// down.
+					if !pendingRebind && cfg.RepairCost > 0 {
+						t0 := eng.Now()
+						rEnd := t0 + cfg.RepairCost
+						if rEnd > cfg.Horizon {
+							rEnd = cfg.Horizon
+						}
+						eng.RunUntil(rEnd)
+						res.RepairTime += eng.Now() - t0
+					}
+				}
+			}
+		}
 		now := eng.Now()
+		if now >= cfg.Horizon {
+			break
+		}
 		if backlog == 0 {
 			// Empty network: let arrivals accumulate for one idle tick.
 			step := idle
@@ -307,27 +537,52 @@ func Run(cfg Config) (*Result, error) {
 
 		// Control phase: snapshot the backlog as the demand vector and pay
 		// the scheduler's control cost in simulated time (arrivals keep
-		// flowing underneath).
-		for i, l := range cfg.Links {
-			demands[i] = queues[l.From].len()
-			if cfg.MaxService > 0 && demands[i] > cfg.MaxService {
-				demands[i] = cfg.MaxService
+		// flowing underneath). While the control plane is down
+		// (pendingRebind), no re-planning is possible: the network keeps
+		// replaying the last schedule it disseminated, for free.
+		var s *sched.Schedule
+		if pendingRebind {
+			res.ControlDownEpochs++
+			s = lastSched
+			if s == nil || s.Length() == 0 {
+				// Control went down before any schedule existed (or the last
+				// one is empty): nothing can move until connectivity returns.
+				step := idle
+				if now+step > cfg.Horizon {
+					step = cfg.Horizon - now
+				}
+				eng.RunUntil(now + step)
+				res.IdleTime += eng.Now() - now
+				continue
 			}
+		} else {
+			if len(demands) != len(links) {
+				demands = make([]int, len(links))
+			}
+			for i, l := range links {
+				demands[i] = queues[l.From].len()
+				if cfg.MaxService > 0 && demands[i] > cfg.MaxService {
+					demands[i] = cfg.MaxService
+				}
+			}
+			var ctrl des.Time
+			var err error
+			s, ctrl, err = cfg.Scheduler.Build(demands, res.Epochs)
+			if err != nil {
+				return nil, fmt.Errorf("flow: epoch %d (%s): %w", res.Epochs, cfg.Scheduler.Name, err)
+			}
+			res.Epochs++
+			if ctrl < 0 {
+				return nil, fmt.Errorf("flow: negative control cost %v", ctrl)
+			}
+			lastSched = s
+			cEnd := now + ctrl
+			if cEnd > cfg.Horizon {
+				cEnd = cfg.Horizon
+			}
+			eng.RunUntil(cEnd)
+			res.ControlTime += eng.Now() - now
 		}
-		s, ctrl, err := cfg.Scheduler.Build(demands, res.Epochs)
-		if err != nil {
-			return nil, fmt.Errorf("flow: epoch %d (%s): %w", res.Epochs, cfg.Scheduler.Name, err)
-		}
-		res.Epochs++
-		if ctrl < 0 {
-			return nil, fmt.Errorf("flow: negative control cost %v", ctrl)
-		}
-		cEnd := now + ctrl
-		if cEnd > cfg.Horizon {
-			cEnd = cfg.Horizon
-		}
-		eng.RunUntil(cEnd)
-		res.ControlTime += eng.Now() - now
 
 		// Data phase: drain queues slot by slot, replaying the schedule
 		// FramesPerEpoch times. A link transmits the head of its queue if
@@ -351,6 +606,18 @@ func Run(cfg Config) (*Result, error) {
 				eng.RunUntil(t0 + slotDur)
 				res.DataTime += slotDur
 				for _, l := range s.Slot(i) {
+					if dyn != nil {
+						// Dead endpoints cannot transmit or ACK, and a link
+						// the current forest no longer owns (a stale slot
+						// from before a reroute, or a static scheduler's
+						// frame) moves nothing.
+						if !dyn.IsAlive(l.From) || !dyn.IsAlive(l.To) {
+							continue
+						}
+						if oi := owner[l.From]; oi < 0 || links[oi] != l {
+							continue
+						}
+					}
 					q := &queues[l.From]
 					if q.len() == 0 || q.peek().enqueued > t0 {
 						continue // allocation outran the queue; idle slot share
@@ -358,7 +625,7 @@ func Run(cfg Config) (*Result, error) {
 					p := q.pop()
 					backlog--
 					res.Transmissions++
-					if cfg.Forest.IsGateway(l.To) {
+					if forest.IsGateway(l.To) {
 						res.Delivered++
 						delay.Add((eng.Now() - p.created).Seconds())
 					} else {
@@ -368,8 +635,23 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
+		checkRecovery()
 
 		if eng.Now() == now {
+			if dyn != nil {
+				if _, ok := dyn.NextEventAt(); ok {
+					// Nothing schedulable right now, but the topology will
+					// change again: idle-tick forward instead of running out
+					// the clock.
+					step := idle
+					if now+step > cfg.Horizon {
+						step = cfg.Horizon - now
+					}
+					eng.RunUntil(now + step)
+					res.IdleTime += eng.Now() - now
+					continue
+				}
+			}
 			// Zero control cost and no slot fits before the horizon: run
 			// out the clock instead of re-scheduling forever.
 			res.IdleTime += cfg.Horizon - now
@@ -380,6 +662,7 @@ func Run(cfg Config) (*Result, error) {
 	res.Elapsed = eng.Now()
 	res.FinalBacklog = backlog
 	res.PeakBacklog = peak
+	res.PeakBacklogDuringOutage = peakOutage
 	if delay.N() > 0 {
 		res.DelayMean = des.FromSeconds(delay.Mean())
 		res.DelayP50 = des.FromSeconds(delay.Percentile(50))

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -11,6 +12,14 @@ import (
 	"scream/internal/route"
 	"scream/internal/sched"
 )
+
+// ErrControlUnavailable reports that an adaptive scheduler cannot re-plan on
+// the current topology — the sensitivity graph is disconnected among the
+// alive nodes, so SCREAM (and with it any distributed control) cannot reach
+// every participant. The epoch driver reacts by keeping the previous
+// schedule and retrying at the next epoch, exactly what a real deployment
+// whose control plane is down would do.
+var ErrControlUnavailable = errors.New("flow: distributed control unavailable on current topology")
 
 // FrameTime returns the static-capacity reference of a mesh: the duration of
 // one greedy frame delivering one end-to-end packet per non-gateway node
@@ -44,13 +53,20 @@ func FrameTime(ch *phys.Channel, forest *route.Forest, links []phys.Link, tm cor
 // epoch scheduler. Its control cost is idealized to zero: a genie gathers the
 // backlog and disseminates the schedule for free, which makes it the upper
 // bound the distributed protocols are judged against (their re-scheduling
-// pays real SCREAM/election/handshake time).
+// pays real SCREAM/election/handshake time). It is adaptive under topology
+// dynamics: Rebind re-targets it at the repaired link set (the channel is
+// the same object, mutated in place by the dynamics world).
 func NewGreedyScheduler(ch *phys.Channel, links []phys.Link, ord sched.Ordering) Scheduler {
+	cur := links
 	return Scheduler{
 		Name: fmt.Sprintf("greedy(%v)", ord),
 		Build: func(demands []int, _ int) (*sched.Schedule, des.Time, error) {
-			s, err := sched.GreedyPhysical(ch, links, demands, ord)
+			s, err := sched.GreedyPhysical(ch, cur, demands, ord)
 			return s, 0, err
+		},
+		Rebind: func(t Topology) error {
+			cur = t.Links
+			return nil
 		},
 	}
 }
@@ -108,6 +124,13 @@ type ProtocolSchedulerConfig struct {
 // backlog snapshot, and the returned control cost is the protocol's real
 // simulated execution time (core.Result.ExecTime) — the price the network
 // pays, in SCREAMs, elections and handshakes, for re-planning.
+//
+// The scheduler is adaptive under topology dynamics: Rebind rebuilds the
+// backend over the refreshed sensitivity graph with the SCREAM length
+// re-validated against the interference diameter restricted to the alive
+// nodes (cfg.K acts as a floor). When the alive sensitivity graph is
+// disconnected, Rebind returns ErrControlUnavailable and the epoch driver
+// keeps the previous schedule until connectivity returns.
 func NewProtocolScheduler(cfg ProtocolSchedulerConfig) (Scheduler, error) {
 	tm := cfg.Timing
 	if tm == (core.Timing{}) {
@@ -135,13 +158,14 @@ func NewProtocolScheduler(cfg ProtocolSchedulerConfig) (Scheduler, error) {
 	if err != nil {
 		return Scheduler{}, err
 	}
+	links := cfg.Links
 	return Scheduler{
 		Name: name,
 		Build: func(demands []int, epoch int) (*sched.Schedule, des.Time, error) {
 			b := proto.Clone()
 			run := core.Config{
 				Variant: cfg.Variant,
-				Links:   cfg.Links,
+				Links:   links,
 				Demands: demands,
 				Backend: b,
 			}
@@ -154,6 +178,20 @@ func NewProtocolScheduler(cfg ProtocolSchedulerConfig) (Scheduler, error) {
 				return nil, 0, err
 			}
 			return res.Schedule, res.ExecTime, nil
+		},
+		Rebind: func(t Topology) error {
+			// cfg.K is a floor; the backend raises the SCREAM length to the
+			// interference diameter among the alive nodes when needed.
+			b, err := core.NewIdealBackendAmong(cfg.Channel, t.Sens, t.Alive, cfg.K, tm)
+			if err != nil {
+				if errors.Is(err, core.ErrSensDisconnected) {
+					return ErrControlUnavailable
+				}
+				return err
+			}
+			proto = b
+			links = t.Links
+			return nil
 		},
 	}, nil
 }

@@ -148,6 +148,43 @@ func (g *Graph) Diameter() int {
 	return max
 }
 
+// DiameterAmong returns the maximum hop distance between any ordered pair of
+// nodes with active[u] true, or -1 when some active node cannot reach some
+// other active node. Paths may pass through any node present in the graph —
+// callers modelling silenced nodes (failed radios) must remove their edges
+// first. This is the interference diameter of a network restricted to its
+// live participants, which is what SCREAM's K must cover after churn.
+func (g *Graph) DiameterAmong(active []bool) int {
+	max := 0
+	for u := range g.adj {
+		if !active[u] {
+			continue
+		}
+		dist := g.BFS(u)
+		for v, d := range dist {
+			if u == v || !active[v] {
+				continue
+			}
+			if d < 0 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(len(g.adj))
+	for u, nbrs := range g.adj {
+		c.adj[u] = append([]int(nil), nbrs...)
+	}
+	return c
+}
+
 // Eccentricity returns the maximum finite hop distance from u, or -1 if some
 // node is unreachable from u.
 func (g *Graph) Eccentricity(u int) int {

@@ -15,6 +15,11 @@ import (
 // A Channel must not be copied after first use: it lazily caches the
 // pairwise RX-power matrix behind a sync.Once so that concurrent readers
 // (e.g. the experiment engine's workers sharing one deployment) are safe.
+//
+// Channels are immutable except through MoveNode and RemoveNode, the
+// topology-dynamics entry points. Those mutations require exclusive access
+// (no concurrent readers while a mutation runs); once a mutation returns,
+// any number of concurrent readers are safe again.
 type Channel struct {
 	txPowerMW []float64
 	gain      [][]float64 // gain[i][j]: linear gain from node i to node j
@@ -95,6 +100,83 @@ func (c *Channel) rxMatrix() []float64 {
 // RxPowerMW returns P_v(u): the power received at v when u transmits.
 func (c *Channel) RxPowerMW(u, v int) float64 {
 	return c.rxMatrix()[u*len(c.txPowerMW)+v]
+}
+
+// MoveNode replaces node u's symmetric gain row: after the call,
+// Gain(u, v) == Gain(v, u) == g[v] for every v != u (g[u] is ignored; the
+// self-gain stays 0). Only row u and column u of the cached RX-power matrix
+// are recomputed — with the same single multiplication rxMatrix performs on
+// a cold build, so the resulting matrix is bit-identical to a freshly
+// constructed channel over the updated gain matrix.
+//
+// MoveNode requires exclusive access: no reader may run concurrently with
+// it. The channel is safe for concurrent reads again once it returns.
+func (c *Channel) MoveNode(u int, g []float64) error {
+	n := len(c.txPowerMW)
+	if u < 0 || u >= n {
+		return fmt.Errorf("phys: node %d out of range for %d nodes", u, n)
+	}
+	if len(g) != n {
+		return fmt.Errorf("phys: %d gains for %d nodes", len(g), n)
+	}
+	// Validate the whole row before touching anything: an error must leave
+	// the channel exactly as it was, not half-mutated.
+	for v, gv := range g {
+		if v != u && gv < 0 {
+			return fmt.Errorf("phys: negative gain %v between nodes %d and %d", gv, u, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v == u {
+			continue
+		}
+		c.gain[u][v] = g[v]
+		c.gain[v][u] = g[v]
+	}
+	c.gain[u][u] = 0
+	if c.rxFlat == nil {
+		return nil // matrix not built yet; the lazy build will see the new gains
+	}
+	row := c.rxFlat[u*n : (u+1)*n]
+	p := c.txPowerMW[u]
+	for v := 0; v < n; v++ {
+		row[v] = p * c.Gain(u, v)
+		c.rxFlat[v*n+u] = c.txPowerMW[v] * c.Gain(v, u)
+	}
+	return nil
+}
+
+// RemoveNode silences node u: every gain to and from it becomes 0, so it
+// neither delivers power anywhere nor receives any — the channel of a
+// network where u's radio is off. Reinstate the node with MoveNode and its
+// current gain row. Same exclusivity contract as MoveNode.
+func (c *Channel) RemoveNode(u int) error {
+	return c.MoveNode(u, make([]float64, len(c.txPowerMW)))
+}
+
+// Clone returns an independent deep copy of the channel (cold RX cache).
+// Mutating the clone never affects the original, which is how dynamics runs
+// avoid corrupting a shared deployment.
+func (c *Channel) Clone() *Channel {
+	gain := make([][]float64, len(c.gain))
+	for i, row := range c.gain {
+		gain[i] = append([]float64(nil), row...)
+	}
+	return &Channel{
+		txPowerMW: append([]float64(nil), c.txPowerMW...),
+		gain:      gain,
+		noiseMW:   c.noiseMW,
+		beta:      c.beta,
+	}
+}
+
+// GainRow returns a copy of node u's gain row (Gain(u, v) for every v).
+func (c *Channel) GainRow(u int) []float64 {
+	row := make([]float64, len(c.txPowerMW))
+	for v := range row {
+		row[v] = c.Gain(u, v)
+	}
+	return row
 }
 
 // SNR returns the interference-free signal-to-noise ratio of a transmission

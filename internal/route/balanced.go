@@ -34,6 +34,7 @@ func BuildForestBalanced(comm *graph.Graph, gateways []int, nodeDemand []int, rn
 		parent:   make([]int, n),
 		depth:    make([]int, n),
 		gateway:  make([]int, n),
+		isGW:     make([]bool, n),
 		gateways: append([]int(nil), gateways...),
 	}
 	for u := 0; u < n; u++ {
@@ -42,6 +43,7 @@ func BuildForestBalanced(comm *graph.Graph, gateways []int, nodeDemand []int, rn
 	}
 	for _, g := range gateways {
 		f.gateway[g] = g
+		f.isGW[g] = true
 	}
 
 	// load[u]: demand currently routed through u (its own plus attached

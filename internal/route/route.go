@@ -14,10 +14,17 @@ import (
 )
 
 // Forest is a gateway-rooted routing forest over nodes 0..n-1.
+//
+// A node may be *detached*: not a gateway and not attached to any tree
+// (parent, gateway and depth all -1). Detached nodes appear when a forest is
+// built or repaired over a partitioned network — their traffic is stranded
+// until the topology reconnects. BuildForest never detaches (it errors
+// instead); BuildForestPartial and Repair do.
 type Forest struct {
-	parent   []int // -1 for gateways
-	depth    []int // 0 for gateways
-	gateway  []int // root gateway of each node's tree
+	parent   []int  // -1 for gateways and detached nodes
+	depth    []int  // 0 for gateways, -1 for detached nodes
+	gateway  []int  // root gateway of each node's tree, -1 for detached
+	isGW     []bool // explicit gateway marks (parent == -1 is ambiguous)
 	gateways []int
 }
 
@@ -27,11 +34,23 @@ type Forest struct {
 // non-nil and toward the lowest node ID otherwise. An error is returned when
 // some node cannot reach any gateway.
 func BuildForest(comm *graph.Graph, gateways []int, rng *rand.Rand) (*Forest, error) {
+	return buildForest(comm, gateways, rng, false)
+}
+
+// BuildForestPartial is BuildForest for networks that may be partitioned:
+// nodes that cannot reach any gateway (including the degenerate case of an
+// empty gateway list) are left detached instead of failing the build. It is
+// the full-rebuild reference the incremental Repair is checked against.
+func BuildForestPartial(comm *graph.Graph, gateways []int, rng *rand.Rand) (*Forest, error) {
+	return buildForest(comm, gateways, rng, true)
+}
+
+func buildForest(comm *graph.Graph, gateways []int, rng *rand.Rand, partial bool) (*Forest, error) {
 	n := comm.NumNodes()
-	if len(gateways) == 0 {
+	if len(gateways) == 0 && !partial {
 		return nil, fmt.Errorf("route: need at least one gateway")
 	}
-	isGW := make(map[int]bool, len(gateways))
+	isGW := make([]bool, n)
 	for _, g := range gateways {
 		if g < 0 || g >= n {
 			return nil, fmt.Errorf("route: gateway %d out of range", g)
@@ -47,20 +66,26 @@ func BuildForest(comm *graph.Graph, gateways []int, rng *rand.Rand) (*Forest, er
 		parent:   make([]int, n),
 		depth:    make([]int, n),
 		gateway:  make([]int, n),
+		isGW:     isGW,
 		gateways: append([]int(nil), gateways...),
 	}
 	for u := 0; u < n; u++ {
 		f.parent[u] = -1
 		f.gateway[u] = -1
+		f.depth[u] = -1
 	}
 	for _, g := range gateways {
 		f.gateway[g] = g
+		f.depth[g] = 0
 	}
 	for u := 0; u < n; u++ {
 		if isGW[u] {
 			continue
 		}
 		if dist[u] < 0 {
+			if partial {
+				continue // detached: unreachable under the current topology
+			}
 			return nil, fmt.Errorf("route: node %d cannot reach any gateway", u)
 		}
 		var candidates []int
@@ -79,16 +104,41 @@ func BuildForest(comm *graph.Graph, gateways []int, rng *rand.Rand) (*Forest, er
 		f.parent[u] = pick
 		f.depth[u] = dist[u]
 	}
-	// Resolve tree roots by walking up (paths are short; memoization is
-	// unnecessary at mesh-backbone sizes).
-	for u := 0; u < n; u++ {
+	f.resolveGateways()
+	return f, nil
+}
+
+// resolveGateways recomputes the gateway of every node by walking its parent
+// chain, memoizing along the way so the total work is O(n). Detached nodes
+// keep gateway -1.
+func (f *Forest) resolveGateways() {
+	const unresolved = -2
+	for u := range f.parent {
+		switch {
+		case f.depth[u] < 0:
+			f.gateway[u] = -1
+		case f.parent[u] < 0:
+			f.gateway[u] = u
+		default:
+			f.gateway[u] = unresolved
+		}
+	}
+	var chain []int
+	for u := range f.parent {
+		if f.gateway[u] != unresolved {
+			continue
+		}
+		chain = chain[:0]
 		v := u
-		for f.parent[v] >= 0 {
+		for f.gateway[v] == unresolved {
+			chain = append(chain, v)
 			v = f.parent[v]
 		}
-		f.gateway[u] = v
+		g := f.gateway[v]
+		for _, w := range chain {
+			f.gateway[w] = g
+		}
 	}
-	return f, nil
 }
 
 // NumNodes returns the number of nodes in the forest.
@@ -97,17 +147,37 @@ func (f *Forest) NumNodes() int { return len(f.parent) }
 // Parent returns u's parent, or -1 if u is a gateway.
 func (f *Forest) Parent(u int) int { return f.parent[u] }
 
-// Depth returns u's hop distance to its gateway.
+// Depth returns u's hop distance to its gateway, or -1 when u is detached.
 func (f *Forest) Depth(u int) int { return f.depth[u] }
 
-// Gateway returns the root gateway of u's tree.
+// Gateway returns the root gateway of u's tree, or -1 when u is detached.
 func (f *Forest) Gateway(u int) int { return f.gateway[u] }
 
 // Gateways returns the gateway node IDs.
 func (f *Forest) Gateways() []int { return append([]int(nil), f.gateways...) }
 
 // IsGateway reports whether u is a gateway.
-func (f *Forest) IsGateway(u int) bool { return f.parent[u] == -1 }
+func (f *Forest) IsGateway(u int) bool {
+	if f.isGW != nil {
+		return f.isGW[u]
+	}
+	return f.parent[u] == -1
+}
+
+// IsDetached reports whether u is attached to no tree (unreachable from
+// every gateway when the forest was built or repaired).
+func (f *Forest) IsDetached(u int) bool { return f.depth[u] < 0 }
+
+// NumDetached returns the number of detached nodes.
+func (f *Forest) NumDetached() int {
+	n := 0
+	for _, d := range f.depth {
+		if d < 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // EdgeOf returns the upstream edge owned by node u (data flows from u to its
 // parent). ok is false for gateways, which own no edge — the one-to-one
@@ -121,7 +191,8 @@ func (f *Forest) EdgeOf(u int) (l phys.Link, ok bool) {
 }
 
 // Links returns every forest edge as a directed link, ordered by owner node
-// ID. Entry i corresponds to the i-th non-gateway node in ID order.
+// ID. Entry i corresponds to the i-th *attached* non-gateway node in ID
+// order: detached nodes own no edge and are skipped.
 func (f *Forest) Links() []phys.Link {
 	links := make([]phys.Link, 0, len(f.parent)-len(f.gateways))
 	for u := range f.parent {
@@ -154,11 +225,8 @@ func (f *Forest) AggregateDemand(nodeDemand []int) ([]int, error) {
 	}
 	agg := make([]int, n)
 	// Process nodes in decreasing depth so children are done before parents.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	// Counting sort by depth (depths are small).
+	// Counting sort by depth (depths are small); detached nodes own no edge
+	// and aggregate nothing.
 	maxDepth := 0
 	for _, d := range f.depth {
 		if d > maxDepth {
@@ -167,6 +235,9 @@ func (f *Forest) AggregateDemand(nodeDemand []int) ([]int, error) {
 	}
 	buckets := make([][]int, maxDepth+1)
 	for u := 0; u < n; u++ {
+		if f.depth[u] < 0 {
+			continue
+		}
 		buckets[f.depth[u]] = append(buckets[f.depth[u]], u)
 	}
 	for d := maxDepth; d >= 1; d-- {

@@ -1,0 +1,135 @@
+package topo
+
+// Topology dynamics: in-place network mutation for node mobility and churn.
+// The methods here keep the three derived views of a deployment — the
+// channel's RX-power matrix, the communication graph and the sensitivity
+// graph — consistent with the node positions and radio states, using the
+// channel's targeted row/column invalidation so a single node event never
+// pays a full matrix rebuild.
+//
+// All mutation methods require exclusive access to the Network. Clone a
+// shared deployment (e.g. one handed out by the experiment engine) before
+// driving dynamics on it.
+
+import (
+	"fmt"
+	"math"
+
+	"scream/internal/geom"
+	"scream/internal/graph"
+)
+
+// Clone returns a deep copy of the network that can be mutated freely
+// without affecting the original.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		Nodes:   append([]Node(nil), n.Nodes...),
+		Channel: n.Channel.Clone(),
+		Comm:    n.Comm.Clone(),
+		Sens:    n.Sens.Clone(),
+		Region:  n.Region,
+		Params:  n.Params,
+	}
+	if n.shadowDB != nil {
+		c.shadowDB = make([][]float64, len(n.shadowDB))
+		for i, row := range n.shadowDB {
+			c.shadowDB[i] = append([]float64(nil), row...)
+		}
+	}
+	if n.down != nil {
+		c.down = append([]bool(nil), n.down...)
+	}
+	return c
+}
+
+// IsDown reports whether node u's radio is currently off.
+func (n *Network) IsDown(u int) bool {
+	return n.down != nil && n.down[u]
+}
+
+// gainRowFor computes node u's current gain row from positions, path loss
+// and the static shadowing draw, zeroing entries to nodes that are down
+// (a silent radio neither delivers nor collects power).
+func (n *Network) gainRowFor(u int) []float64 {
+	row := make([]float64, len(n.Nodes))
+	pu := n.Nodes[u].Pos
+	for v := range n.Nodes {
+		if v == u || n.IsDown(v) {
+			continue
+		}
+		g := n.Params.PathLoss.Gain(pu.Dist(n.Nodes[v].Pos))
+		if n.shadowDB != nil {
+			g *= math.Pow(10, -n.shadowDB[u][v]/10)
+		}
+		row[v] = g
+	}
+	return row
+}
+
+// MoveNode relocates node u to pos, recomputing only its row and column of
+// the channel's RX-power matrix. Call RefreshGraphs after a batch of moves
+// to bring the communication and sensitivity graphs up to date.
+func (n *Network) MoveNode(u int, pos geom.Point) error {
+	if u < 0 || u >= len(n.Nodes) {
+		return fmt.Errorf("topo: node %d out of range", u)
+	}
+	n.Nodes[u].Pos = pos
+	if n.IsDown(u) {
+		return nil // gains stay zeroed; SetNodeUp recomputes from the new position
+	}
+	return n.Channel.MoveNode(u, n.gainRowFor(u))
+}
+
+// SetNodeDown switches node u's radio off: its channel gains are zeroed so
+// it neither transmits nor senses, exactly as if it were absent.
+func (n *Network) SetNodeDown(u int) error {
+	if u < 0 || u >= len(n.Nodes) {
+		return fmt.Errorf("topo: node %d out of range", u)
+	}
+	if n.down == nil {
+		n.down = make([]bool, len(n.Nodes))
+	}
+	if n.down[u] {
+		return nil
+	}
+	n.down[u] = true
+	return n.Channel.RemoveNode(u)
+}
+
+// SetNodeUp switches node u's radio back on at its current position.
+func (n *Network) SetNodeUp(u int) error {
+	if u < 0 || u >= len(n.Nodes) {
+		return fmt.Errorf("topo: node %d out of range", u)
+	}
+	if !n.IsDown(u) {
+		return nil
+	}
+	n.down[u] = false
+	return n.Channel.MoveNode(u, n.gainRowFor(u))
+}
+
+// RefreshGraphs rebuilds the communication and sensitivity graphs from the
+// channel's current state, using exactly the edge rules of Build. Down nodes
+// have zero gains and therefore no edges. Adjacency lists come out in
+// ascending node order, the canonical order route repair's tie-breaking
+// relies on.
+func (n *Network) RefreshGraphs() {
+	nn := len(n.Nodes)
+	comm := graph.New(nn)
+	sens := graph.New(nn)
+	for u := 0; u < nn; u++ {
+		for v := 0; v < nn; v++ {
+			if u == v {
+				continue
+			}
+			if n.Channel.RxPowerMW(u, v) >= n.Params.CSThresholdMW {
+				sens.AddEdge(u, v)
+			}
+			if u < v && n.Channel.LinkUp(u, v) && n.Channel.LinkUp(v, u) {
+				comm.AddUndirected(u, v)
+			}
+		}
+	}
+	n.Comm = comm
+	n.Sens = sens
+}

@@ -48,6 +48,10 @@ func DefaultParams() Params {
 
 // Network is a fully materialized deployment: nodes, channel, communication
 // graph and sensitivity graph.
+//
+// Networks are immutable except through the topology-dynamics methods in
+// dynamics.go (MoveNode, SetNodeDown, SetNodeUp, RefreshGraphs), which
+// require exclusive access. Clone a shared network before mutating it.
 type Network struct {
 	Nodes   []Node
 	Channel *phys.Channel
@@ -55,6 +59,15 @@ type Network struct {
 	Sens    *graph.Graph // directed sensitivity graph (Definition 1)
 	Region  geom.Rect
 	Params  Params
+
+	// shadowDB is the static symmetric per-pair log-normal shadowing draw in
+	// dB (nil without shadowing). It persists across node moves: shadowing
+	// models obstructions tied to the node pair, the standard static-shadowing
+	// assumption.
+	shadowDB [][]float64
+	// down[u] marks node u's radio as off; its channel gains are zeroed and
+	// it holds no graph edges until SetNodeUp restores it.
+	down []bool
 }
 
 // Build materializes a network from positions and per-node powers. When
@@ -123,12 +136,13 @@ func Build(positions []geom.Point, txPowerMW []float64, region geom.Rect, p Para
 		}
 	}
 	return &Network{
-		Nodes:   nodes,
-		Channel: ch,
-		Comm:    comm,
-		Sens:    sens,
-		Region:  region,
-		Params:  p,
+		Nodes:    nodes,
+		Channel:  ch,
+		Comm:     comm,
+		Sens:     sens,
+		Region:   region,
+		Params:   p,
+		shadowDB: shadow,
 	}, nil
 }
 

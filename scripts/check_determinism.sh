@@ -6,6 +6,7 @@
 # Usage: scripts/check_determinism.sh [figgen args...]
 #   e.g. scripts/check_determinism.sh -fig all -quick
 #        scripts/check_determinism.sh -fig flow
+#        scripts/check_determinism.sh -fig churn   (topology dynamics)
 #
 # FIGGEN overrides the figgen invocation (default: go run ./cmd/figgen),
 # letting CI reuse a prebuilt binary instead of a cold compile.
