@@ -287,6 +287,38 @@ func BenchmarkGreedyPhysical64(b *testing.B) {
 	}
 }
 
+// BenchmarkSlotStateMultiChannel measures the multi-channel slot engine on
+// the greedy hot path: a full GreedyPhysicalMulti schedule construction over
+// the 64-node grid at 4 channels / 2 radios, against the single-channel fast
+// path (C=1, R=1 delegates to the slab-allocated single-channel SlotState
+// engine — the path every pre-multi-channel figure still runs).
+func BenchmarkSlotStateMultiChannel(b *testing.B) {
+	radio := DefaultRadioParams()
+	radio.NumRadios = 2
+	multi, err := NewGridMesh(GridMeshConfig{Rows: 8, Cols: 8, StepMeters: 30, Seed: 1, Radio: radio})
+	if err != nil {
+		b.Fatal(err)
+	}
+	single, err := NewGridMesh(GridMeshConfig{Rows: 8, Cols: 8, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("chan4radio2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := multi.GreedyScheduleChannels(4, ByHeadIDDesc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("chan1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := single.GreedyScheduleChannels(1, ByHeadIDDesc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkFDDRun64(b *testing.B) {
 	m, err := NewGridMesh(GridMeshConfig{Rows: 8, Cols: 8, StepMeters: 30, Seed: 1})
 	if err != nil {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figgen [-fig all|4|5|6|7|8|9|flow|churn|ablations] [-quick] [-seeds n] [-workers n] [-ascii]
+//	figgen [-fig all|4|5|6|7|8|9|flow|churn|channels|ablations] [-quick] [-seeds n] [-workers n] [-ascii]
 //
 // -fig also accepts a comma-separated list (e.g. -fig 6,7,8).
 //
@@ -28,7 +28,7 @@ type runner struct {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figures to regenerate: all, 4, 5, 6, 7, 8, 9, flow, churn, ablations, or a comma-separated list")
+		fig     = flag.String("fig", "all", "which figures to regenerate: all, 4, 5, 6, 7, 8, 9, flow, churn, channels, ablations, or a comma-separated list")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		seeds   = flag.Int("seeds", 0, "independent runs per point (0 = default)")
 		workers = flag.Int("workers", 0, "concurrent experiment workers (0 = GOMAXPROCS); output is identical for any value")
@@ -44,14 +44,15 @@ func main() {
 func run(which string, quick bool, seeds, workers int, ascii bool) error {
 	opts := scream.ExperimentOptions{Quick: quick, Seeds: seeds, Workers: workers}
 	figures := map[string][]runner{
-		"4":     {{"Fig4", scream.Fig4}},
-		"5":     {{"Fig5", scream.Fig5}},
-		"6":     {{"Fig6", scream.Fig6}},
-		"7":     {{"Fig7", scream.Fig7}},
-		"8":     {{"Fig8", scream.Fig8}},
-		"9":     {{"Fig9", scream.Fig9}},
-		"flow":  {{"FigFlowLoad", scream.FigFlowLoad}},
-		"churn": {{"FigChurn", scream.FigChurn}},
+		"4":        {{"Fig4", scream.Fig4}},
+		"5":        {{"Fig5", scream.Fig5}},
+		"6":        {{"Fig6", scream.Fig6}},
+		"7":        {{"Fig7", scream.Fig7}},
+		"8":        {{"Fig8", scream.Fig8}},
+		"9":        {{"Fig9", scream.Fig9}},
+		"flow":     {{"FigFlowLoad", scream.FigFlowLoad}},
+		"churn":    {{"FigChurn", scream.FigChurn}},
+		"channels": {{"FigChannels", scream.FigChannels}},
 		"ablations": {
 			{"AblationPDDProbability", scream.AblationPDDProbability},
 			{"AblationGreedyOrdering", scream.AblationGreedyOrdering},
@@ -67,7 +68,9 @@ func run(which string, quick bool, seeds, workers int, ascii bool) error {
 	for _, key := range strings.Split(which, ",") {
 		key = strings.TrimSpace(key)
 		if key == "all" {
-			for _, k := range []string{"4", "5", "6", "7", "8", "9", "flow", "churn", "ablations"} {
+			// FigChannels deliberately comes last so the output of every
+			// older figure stays a byte-identical prefix of earlier builds'.
+			for _, k := range []string{"4", "5", "6", "7", "8", "9", "flow", "churn", "ablations", "channels"} {
 				selected = append(selected, figures[k]...)
 			}
 		} else if rs, ok := figures[key]; ok {

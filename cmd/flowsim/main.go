@@ -13,11 +13,16 @@
 // schedulers (greedy, fdd, pdd) re-plan on the incrementally repaired
 // routing forest at epoch boundaries; tdma keeps its static frame.
 //
+// Multi-channel meshes ride -channels orthogonal channels with -radios radio
+// interfaces per node (every scheduler packs slots across the channel set;
+// distributed control stays on channel 0).
+//
 // Examples:
 //
 //	flowsim -rows 8 -cols 8 -step 36 -tx 4 -scheduler fdd -arrival poisson -load 0.8 -horizon 5
 //	flowsim -scheduler greedy -load 0.5 -failrate 0.5 -downtime 0.5 -horizon 5
 //	flowsim -scheduler pdd -mobility waypoint -speed 10 -horizon 5
+//	flowsim -scheduler greedy -channels 4 -radios 2 -load 2.5 -horizon 5
 package main
 
 import (
@@ -54,6 +59,8 @@ func main() {
 		quota     = flag.Int("quota", 8, "per-link service quota per epoch (0 = unbounded)")
 		maxQueue  = flag.Int("maxqueue", 0, "per-link queue cap in packets (0 = unbounded)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		channels  = flag.Int("channels", 1, "orthogonal data channels (1 = classic single-channel)")
+		radios    = flag.Int("radios", 1, "radio interfaces per node (max channels a node uses per slot)")
 		dyn       dynFlags
 	)
 	flag.Float64Var(&dyn.failRate, "failrate", 0, "node failures per node per second (0 = no churn)")
@@ -64,15 +71,24 @@ func main() {
 	flag.Float64Var(&dyn.pause, "pause", 0.2, "waypoint pause time (s)")
 	flag.Float64Var(&dyn.moveInt, "moveint", 0.1, "mobility position sampling interval (s)")
 	flag.Parse()
-	if err := run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *seed, dyn); err != nil {
+	if err := run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *channels, *radios, *seed, dyn); err != nil {
 		fmt.Fprintln(os.Stderr, "flowsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue int, seed int64, dyn dynFlags) error {
+func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue, channels, radios int, seed int64, dyn dynFlags) error {
+	if channels < 1 {
+		return fmt.Errorf("need at least 1 channel, got %d", channels)
+	}
+	if radios < 1 {
+		return fmt.Errorf("need at least 1 radio per node, got %d", radios)
+	}
+	radio := scream.DefaultRadioParams()
+	radio.NumRadios = radios
 	mesh, err := scream.NewGridMesh(scream.GridMeshConfig{
 		Rows: rows, Cols: cols, StepMeters: step, TxPowerDBm: tx, Seed: seed,
+		Radio: radio,
 	})
 	if err != nil {
 		return err
@@ -178,6 +194,9 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 	fmt.Printf("mesh: %d nodes, %d links, gateways %v\n", n, len(mesh.Links), mesh.Gateways())
 	fmt.Printf("      static capacity frame %.4fs -> per-node rate %.1f pkt/s at load %.2fx\n",
 		frame.Seconds(), rate, load)
+	if channels > 1 {
+		fmt.Printf("      channels: %d orthogonal (control on channel 0), %d radios per node\n", channels, radios)
+	}
 	if dynOpts != nil {
 		fmt.Printf("      dynamics: failrate %.3g/node/s, mean downtime %.3gs, mobility %s (%.3g m/s)\n",
 			dyn.failRate, dyn.downtime, dyn.mobility, dyn.speed)
@@ -194,6 +213,7 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 		MaxService:     quota,
 		FramesPerEpoch: frames,
 		Dynamics:       dynOpts,
+		Channels:       channels,
 	})
 	if err != nil {
 		return err

@@ -40,6 +40,13 @@ func FigFlowLoad(opts ExperimentOptions) (*Figure, error) { return exp.FigFlowLo
 // section of DESIGN.md).
 func FigChurn(opts ExperimentOptions) (*Figure, error) { return exp.FigChurn(opts) }
 
+// FigChannels sweeps the orthogonal channel count through the multi-channel
+// schedulers: delivered goodput under saturating load and one-shot schedule
+// length for Centralized, FDD, PDD p=0.8 and the TDMA frame, with two radios
+// per node (extension; see the "Multi-channel scheduling" section of
+// DESIGN.md).
+func FigChannels(opts ExperimentOptions) (*Figure, error) { return exp.FigChannels(opts) }
+
 // Ablations for the design choices called out in DESIGN.md.
 
 // AblationPDDProbability sweeps PDD's activation probability p.

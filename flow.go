@@ -13,6 +13,7 @@ import (
 	"scream/internal/core"
 	"scream/internal/dynam"
 	"scream/internal/flow"
+	"scream/internal/phys"
 	"scream/internal/traffic"
 )
 
@@ -77,6 +78,13 @@ type FlowOptions struct {
 	// Dynamics, when non-nil, drives node churn and mobility during the
 	// run (the mesh itself is never mutated — the run operates on a clone).
 	Dynamics *DynamicsOptions
+	// Channels is the number of orthogonal data channels the epoch
+	// schedules ride (0 or 1 = the single-channel simulator, unchanged).
+	// With more channels every scheduler packs each slot across the channel
+	// set — per-channel SINR feasibility, per-node radio budget from the
+	// mesh's RadioParams.NumRadios — and the distributed schedulers pay
+	// their control traffic on the designated control channel (channel 0).
+	Channels int
 }
 
 // MobilityKind selects the node mobility model of a dynamics run.
@@ -209,6 +217,10 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 		}
 		repairCost = tm.RepairCost(k)
 	}
+	channels := opts.Channels
+	if channels <= 0 {
+		channels = 1
+	}
 	var scheduler flow.Scheduler
 	switch opts.Scheduler {
 	case FlowGreedy, 0:
@@ -216,15 +228,27 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 		if ord == 0 {
 			ord = ByHeadIDDesc
 		}
-		scheduler = flow.NewGreedyScheduler(net.Channel, m.Links, ord)
+		if channels > 1 {
+			cs, err := phys.NewChannelSet(net.Channel, channels)
+			if err != nil {
+				return nil, fmt.Errorf("scream: %w", err)
+			}
+			scheduler = flow.NewGreedyMultiScheduler(cs, m.radios, m.Links, ord)
+		} else {
+			scheduler = flow.NewGreedyScheduler(net.Channel, m.Links, ord)
+		}
 	case FlowTDMA:
-		scheduler = flow.NewTDMAScheduler(m.Links)
+		if channels > 1 {
+			scheduler = flow.NewTDMAMultiScheduler(m.Links, channels, m.radios)
+		} else {
+			scheduler = flow.NewTDMAScheduler(m.Links)
+		}
 	case FlowFDD, FlowPDD:
 		variant := core.FDD
 		if opts.Scheduler == FlowPDD {
 			variant = core.PDD
 		}
-		scheduler, err = flow.NewProtocolScheduler(flow.ProtocolSchedulerConfig{
+		cfg := flow.ProtocolSchedulerConfig{
 			Channel: net.Channel,
 			Sens:    net.Sens,
 			Links:   m.Links,
@@ -233,7 +257,12 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 			Variant: variant,
 			P:       opts.P,
 			Seed:    opts.Seed,
-		})
+		}
+		if channels > 1 {
+			cfg.Channels = channels
+			cfg.Radios = m.radios
+		}
+		scheduler, err = flow.NewProtocolScheduler(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("scream: %w", err)
 		}

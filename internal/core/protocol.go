@@ -96,6 +96,16 @@ type Config struct {
 	ASAPSeal bool
 	// Observer receives protocol events; zero value disables tracing.
 	Observer Observer
+	// NumChannels is the number of orthogonal data channels (0 or 1 runs
+	// the paper's single-channel protocol unchanged). With C > 1 each round
+	// seals a multi-channel slot built in C sequential channel phases;
+	// control traffic (SCREAMs, elections) rides the designated control
+	// channel (channel 0) at unchanged cost, while data handshakes are
+	// evaluated per channel. See DESIGN.md "Multi-channel scheduling".
+	NumChannels int
+	// NumRadios bounds how many channels a node may be active on per slot
+	// (0 means 1). Only consulted when NumChannels > 1.
+	NumRadios int
 }
 
 // Result is the outcome of a protocol run.
@@ -115,31 +125,30 @@ type Result struct {
 	ExecTime des.Time
 }
 
-// Run executes the distributed protocol to completion and returns the
-// computed schedule with execution statistics. The run is a faithful
-// lock-step simulation of all nodes: every SCREAM, election and handshake
-// the real protocol would perform is executed against the backend (and
-// therefore billed for time), and all control decisions are derived from
-// those primitives' outputs only.
-func Run(cfg Config) (*Result, error) {
-	n := cfg.Backend.NumNodes()
-	if len(cfg.Links) != len(cfg.Demands) {
-		return nil, fmt.Errorf("core: %d links vs %d demands", len(cfg.Links), len(cfg.Demands))
-	}
-	switch cfg.Variant {
-	case PDD:
-		if cfg.Probability <= 0 || cfg.Probability > 1 {
-			return nil, fmt.Errorf("core: PDD needs probability in (0,1], got %v", cfg.Probability)
-		}
-		if cfg.RNG == nil {
-			return nil, fmt.Errorf("core: PDD needs an RNG")
-		}
-	case FDD:
-	default:
-		return nil, fmt.Errorf("core: unknown variant %v", cfg.Variant)
-	}
+// protoRun is the validated, initialized per-run state shared by the
+// single-channel and multi-channel protocol loops: the owner/link mapping,
+// election identities, round budget, node states and the counted primitive
+// wrappers. Both loops consume it; only the slot-construction structure
+// differs.
+type protoRun struct {
+	cfg         Config
+	n           int
+	linkOf      []int // owner node -> link index, -1 for none
+	totalDemand int
+	idBits      int
+	ids         []uint64
+	maxRounds   int
 
-	// Map owner node -> link index.
+	res       *Result
+	state     []State
+	remaining []int
+	round     int
+}
+
+// newProtoRun validates the link/demand configuration and initializes the
+// shared run state.
+func newProtoRun(cfg Config) (*protoRun, error) {
+	n := cfg.Backend.NumNodes()
 	linkOf := make([]int, n)
 	for i := range linkOf {
 		linkOf[i] = -1
@@ -172,53 +181,106 @@ func Run(cfg Config) (*Result, error) {
 		maxRounds = 10*totalDemand + 100
 	}
 
-	b := cfg.Backend
-	res := &Result{Schedule: sched.NewSchedule()}
-	state := make([]State, n)
-	remaining := append([]int(nil), cfg.Demands...)
+	p := &protoRun{
+		cfg: cfg, n: n, linkOf: linkOf, totalDemand: totalDemand,
+		idBits: idBits, ids: ids, maxRounds: maxRounds,
+		res:       &Result{Schedule: sched.NewSchedule()},
+		state:     make([]State, n),
+		remaining: append([]int(nil), cfg.Demands...),
+	}
 	for u := 0; u < n; u++ {
-		if linkOf[u] >= 0 && remaining[linkOf[u]] > 0 {
-			state[u] = Dormant
+		if linkOf[u] >= 0 && p.remaining[linkOf[u]] > 0 {
+			p.state[u] = Dormant
 		} else {
-			state[u] = Complete
+			p.state[u] = Complete
 		}
 	}
-	round := 0
-	setState := func(u int, to State) {
-		if state[u] == to {
-			return
-		}
-		if cfg.Observer.StateChange != nil {
-			cfg.Observer.StateChange(round, u, state[u], to)
-		}
-		state[u] = to
-	}
+	return p, nil
+}
 
-	scream := func(vars []bool) []bool {
-		res.Screams++
-		return b.Scream(vars)
+func (p *protoRun) setState(u int, to State) {
+	if p.state[u] == to {
+		return
 	}
-	// screamConsensus runs a SCREAM whose result steers control flow. With
-	// a correct SCREAM (K >= ID, adequate SMBytes, guarded slots) every
-	// node computes the same OR; if views diverge the distributed protocol
-	// has genuinely broken, which we surface as an error instead of
-	// silently picking a view (this is what the failure-injection tests
-	// observe when K < ID or the skew guard is violated).
-	screamConsensus := func(vars []bool, what string) (bool, error) {
-		result := scream(vars)
-		v := result[0]
-		for i, r := range result {
-			if r != v {
-				return false, fmt.Errorf("core: SCREAM divergence on %s: node 0 sees %v, node %d sees %v (K too small or skew guard violated)", what, v, i, r)
-			}
+	if p.cfg.Observer.StateChange != nil {
+		p.cfg.Observer.StateChange(p.round, u, p.state[u], to)
+	}
+	p.state[u] = to
+}
+
+func (p *protoRun) scream(vars []bool) []bool {
+	p.res.Screams++
+	return p.cfg.Backend.Scream(vars)
+}
+
+// screamConsensus runs a SCREAM whose result steers control flow. With
+// a correct SCREAM (K >= ID, adequate SMBytes, guarded slots) every
+// node computes the same OR; if views diverge the distributed protocol
+// has genuinely broken, which we surface as an error instead of
+// silently picking a view (this is what the failure-injection tests
+// observe when K < ID or the skew guard is violated).
+func (p *protoRun) screamConsensus(vars []bool, what string) (bool, error) {
+	result := p.scream(vars)
+	v := result[0]
+	for i, r := range result {
+		if r != v {
+			return false, fmt.Errorf("core: SCREAM divergence on %s: node 0 sees %v, node %d sees %v (K too small or skew guard violated)", what, v, i, r)
 		}
-		return v, nil
 	}
-	elect := func(participating []bool) int {
-		res.Elections++
-		res.Screams += ElectionScreams(idBits)
-		return LeaderElect(b, idBits, ids, participating)
+	return v, nil
+}
+
+func (p *protoRun) elect(participating []bool) int {
+	p.res.Elections++
+	p.res.Screams += ElectionScreams(p.idBits)
+	return LeaderElect(p.cfg.Backend, p.idBits, p.ids, participating)
+}
+
+// Run executes the distributed protocol to completion and returns the
+// computed schedule with execution statistics. The run is a faithful
+// lock-step simulation of all nodes: every SCREAM, election and handshake
+// the real protocol would perform is executed against the backend (and
+// therefore billed for time), and all control decisions are derived from
+// those primitives' outputs only.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Links) != len(cfg.Demands) {
+		return nil, fmt.Errorf("core: %d links vs %d demands", len(cfg.Links), len(cfg.Demands))
 	}
+	switch cfg.Variant {
+	case PDD:
+		if cfg.Probability <= 0 || cfg.Probability > 1 {
+			return nil, fmt.Errorf("core: PDD needs probability in (0,1], got %v", cfg.Probability)
+		}
+		if cfg.RNG == nil {
+			return nil, fmt.Errorf("core: PDD needs an RNG")
+		}
+	case FDD:
+	default:
+		return nil, fmt.Errorf("core: unknown variant %v", cfg.Variant)
+	}
+	p, err := newProtoRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NumChannels > 1 {
+		return p.runMulti()
+	}
+	return p.runSingle()
+}
+
+// runSingle is the paper's single-channel protocol loop.
+func (p *protoRun) runSingle() (*Result, error) {
+	cfg := p.cfg
+	n := p.n
+	linkOf := p.linkOf
+	b := cfg.Backend
+	res := p.res
+	state := p.state
+	remaining := p.remaining
+	setState := p.setState
+	scream := p.scream
+	screamConsensus := p.screamConsensus
+	elect := p.elect
 
 	// Scratch buffers for the admission loop, reused across steps: the
 	// backend's incremental engine makes each handshake O(k·Δ), so the
@@ -231,9 +293,9 @@ func Run(cfg Config) (*Result, error) {
 	released := true
 	controller := -1
 
-	for ; ; round++ {
-		if round >= maxRounds {
-			return nil, fmt.Errorf("core: no termination after %d rounds (TD=%d); check feasibility of individual links", round, totalDemand)
+	for ; ; p.round++ {
+		if p.round >= p.maxRounds {
+			return nil, fmt.Errorf("core: no termination after %d rounds (TD=%d); check feasibility of individual links", p.round, p.totalDemand)
 		}
 
 		if released {
@@ -257,7 +319,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			controller = winner
 			if cfg.Observer.ControllerElected != nil {
-				cfg.Observer.ControllerElected(round, controller)
+				cfg.Observer.ControllerElected(p.round, controller)
 			}
 			setState(controller, Control)
 		}
@@ -374,7 +436,7 @@ func Run(cfg Config) (*Result, error) {
 		res.Schedule.AppendSlot(slot)
 		res.Rounds++
 		if cfg.Observer.SlotSealed != nil {
-			cfg.Observer.SlotSealed(round, slot)
+			cfg.Observer.SlotSealed(p.round, slot)
 		}
 
 		// Control-release SCREAM: the controller announces whether its

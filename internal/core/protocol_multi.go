@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"scream/internal/phys"
+)
+
+// runMulti is the multi-channel protocol loop (cfg.NumChannels > 1): each
+// round seals one multi-channel slot, built in NumChannels sequential
+// channel phases. Phase ch runs the single-channel greedy augmentation loop
+// — SelectActive, handshake, verification SCREAM, still-dormant SCREAM — on
+// channel ch among the still-dormant nodes; nodes discarded on an earlier
+// channel of the slot are revived at the next phase (a crowded channel is
+// not a crowded slot). The per-node radio budget gates activation: a node
+// whose own or whose parent's radios are all committed to other channels of
+// this slot cannot even tune to the phase's channel and is discarded without
+// a handshake.
+//
+// Control traffic — every SCREAM and election — rides the designated control
+// channel (channel 0) exactly as in the single-channel protocol, at
+// unchanged per-primitive cost; the protocol is lock-step, so control and
+// data never overlap in time and the control channel carries data placements
+// during data phases like any other channel. The controller's own link is
+// admitted on channel 0 when it takes control of the slot.
+//
+// All channels share one physical propagation environment (interference is
+// per-channel only), so the backend's HandshakeSlot evaluates each phase's
+// links unchanged: a handshake slot never contains links from two channels.
+func (p *protoRun) runMulti() (*Result, error) {
+	cfg := p.cfg
+	n := p.n
+	linkOf := p.linkOf
+	b := cfg.Backend
+	res := p.res
+	state := p.state
+	remaining := p.remaining
+	setState := p.setState
+	scream := p.scream
+	screamConsensus := p.screamConsensus
+	elect := p.elect
+	numChannels := cfg.NumChannels
+	numRadios := cfg.NumRadios
+	if numRadios <= 0 {
+		numRadios = 1
+	}
+
+	vars := make([]bool, n)
+	part := make([]bool, n)
+	hsLinks := make([]phys.Link, 0, n)
+	hsOwners := make([]int, 0, n)
+	hsOK := make([]bool, n)
+	// Per-slot multi-channel bookkeeping: the channel each allocated owner's
+	// link rides (-1 while unallocated) and how many of each node's radios
+	// the slot has committed so far.
+	chanOf := make([]int, n)
+	radios := make([]int32, n)
+	released := true
+	controller := -1
+
+	for ; ; p.round++ {
+		if p.round >= p.maxRounds {
+			return nil, fmt.Errorf("core: no termination after %d rounds (TD=%d); check feasibility of individual links", p.round, p.totalDemand)
+		}
+
+		if released {
+			for u := 0; u < n; u++ {
+				part[u] = state[u] != Complete
+			}
+			winner := elect(part)
+			for u := range vars {
+				vars[u] = u == winner
+			}
+			exists, err := screamConsensus(vars, "controller existence")
+			if err != nil {
+				return nil, err
+			}
+			if !exists {
+				break
+			}
+			controller = winner
+			if cfg.Observer.ControllerElected != nil {
+				cfg.Observer.ControllerElected(p.round, controller)
+			}
+			setState(controller, Control)
+		}
+
+		// GreedyScheduleSlot: reset non-complete, non-control nodes and the
+		// slot's channel bookkeeping. The controller's link occupies channel
+		// 0 (the control channel it already owns the floor on) from the
+		// start of the slot.
+		for u := 0; u < n; u++ {
+			if state[u] != Complete && state[u] != Control {
+				setState(u, Dormant)
+			}
+			chanOf[u] = -1
+			radios[u] = 0
+		}
+		ctrlLink := cfg.Links[linkOf[controller]]
+		chanOf[controller] = 0
+		radios[ctrlLink.From]++
+		radios[ctrlLink.To]++
+
+		for ch := 0; ch < numChannels; ch++ {
+			if ch > 0 {
+				// Revive the nodes discarded on earlier channels of this
+				// slot; stop early when nobody is left to try.
+				anyLeft := false
+				for u := 0; u < n; u++ {
+					if state[u] == Tried {
+						setState(u, Dormant)
+					}
+					if state[u] == Dormant {
+						anyLeft = true
+					}
+				}
+				if !anyLeft {
+					break
+				}
+			}
+
+			for {
+				// SelectActive.
+				switch cfg.Variant {
+				case PDD:
+					for u := 0; u < n; u++ {
+						if state[u] == Dormant && cfg.RNG.Float64() < cfg.Probability {
+							setState(u, Active)
+						}
+					}
+				case FDD:
+					for u := 0; u < n; u++ {
+						part[u] = state[u] == Dormant
+					}
+					if winner := elect(part); winner >= 0 {
+						setState(winner, Active)
+					}
+				}
+
+				// Radio gating: an active node whose endpoints cannot spare
+				// a radio for this channel is discarded without a handshake
+				// (its or its parent's radios are all tuned to other
+				// channels of this slot).
+				for u := 0; u < n; u++ {
+					if state[u] != Active {
+						continue
+					}
+					l := cfg.Links[linkOf[u]]
+					if radios[l.From] >= int32(numRadios) || radios[l.To] >= int32(numRadios) {
+						setState(u, Tried)
+					}
+				}
+
+				// Handshake slot over this channel's links only: the actives
+				// trying it plus the links already allocated on it (the
+				// controller's rides channel 0).
+				hsLinks = hsLinks[:0]
+				hsOwners = hsOwners[:0]
+				for u := 0; u < n; u++ {
+					if state[u] == Active || ((state[u] == Allocated || state[u] == Control) && chanOf[u] == ch) {
+						hsLinks = append(hsLinks, cfg.Links[linkOf[u]])
+						hsOwners = append(hsOwners, u)
+					}
+				}
+				res.Steps++
+				outcome := b.HandshakeSlot(hsLinks)
+
+				// Verification SCREAM: edges scheduled on this channel veto
+				// when the newcomers' interference broke their handshake.
+				for u := range vars {
+					vars[u] = false
+				}
+				for i, u := range hsOwners {
+					hsOK[u] = outcome[i]
+					if (state[u] == Allocated || state[u] == Control) && !outcome[i] {
+						vars[u] = true
+					}
+				}
+				veto, err := screamConsensus(vars, "handshake veto")
+				if err != nil {
+					return nil, err
+				}
+
+				// Actives join this channel or are discarded.
+				for u := 0; u < n; u++ {
+					if state[u] != Active {
+						continue
+					}
+					if !veto && hsOK[u] {
+						setState(u, Allocated)
+						chanOf[u] = ch
+						l := cfg.Links[linkOf[u]]
+						radios[l.From]++
+						radios[l.To]++
+					} else {
+						setState(u, Tried)
+					}
+				}
+
+				// Still-actives SCREAM: dormant nodes keep the phase open.
+				if cfg.ASAPSeal {
+					still := false
+					for u := 0; u < n; u++ {
+						if state[u] == Dormant {
+							still = true
+							break
+						}
+					}
+					if !still {
+						break
+					}
+					for u := 0; u < n; u++ {
+						vars[u] = state[u] == Dormant
+					}
+					scream(vars)
+					continue
+				}
+				for u := 0; u < n; u++ {
+					vars[u] = state[u] == Dormant
+				}
+				still, err := screamConsensus(vars, "still-dormant")
+				if err != nil {
+					return nil, err
+				}
+				if !still {
+					break
+				}
+			}
+		}
+
+		// Seal the multi-channel slot: allocated and control links transmit
+		// in it, each on its assigned channel.
+		var slot []phys.Link
+		var slotChans []int
+		for u := 0; u < n; u++ {
+			if state[u] == Allocated || state[u] == Control {
+				li := linkOf[u]
+				slot = append(slot, cfg.Links[li])
+				slotChans = append(slotChans, chanOf[u])
+				remaining[li]--
+			}
+		}
+		res.Schedule.AppendSlotAssigned(slot, slotChans)
+		res.Rounds++
+		if cfg.Observer.SlotSealed != nil {
+			cfg.Observer.SlotSealed(p.round, slot)
+		}
+
+		// Control-release SCREAM: the controller announces whether its
+		// demand is now satisfied.
+		ctrlDone := remaining[linkOf[controller]] == 0
+		for u := range vars {
+			vars[u] = u == controller && ctrlDone
+		}
+		rel, err := screamConsensus(vars, "control release")
+		if err != nil {
+			return nil, err
+		}
+		released = rel
+
+		for u := 0; u < n; u++ {
+			li := linkOf[u]
+			if li >= 0 && remaining[li] == 0 {
+				setState(u, Complete)
+				continue
+			}
+			if u == controller && !released {
+				continue // stays CONTROL
+			}
+			if state[u] != Complete {
+				setState(u, Dormant)
+			}
+		}
+		if released {
+			controller = -1
+		}
+	}
+
+	res.ExecTime = b.Elapsed()
+	return res, nil
+}

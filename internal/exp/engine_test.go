@@ -56,6 +56,10 @@ func TestEngineDeterminism(t *testing.T) {
 		// The churn figure additionally covers the dynam event timelines,
 		// in-place channel mutation and incremental route repair.
 		{"FigChurn", FigChurn},
+		// The channels figure additionally covers the multi-channel slot
+		// engine, channel-assigned schedules and the per-channel protocol
+		// phases.
+		{"FigChannels", FigChannels},
 	}
 	for _, r := range runners {
 		r := r

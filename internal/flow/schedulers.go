@@ -71,6 +71,92 @@ func NewGreedyScheduler(ch *phys.Channel, links []phys.Link, ord sched.Ordering)
 	}
 }
 
+// NewGreedyMultiScheduler is NewGreedyScheduler over cs.NumChannels()
+// orthogonal channels and numRadios radios per node: every epoch re-runs
+// sched.GreedyPhysicalMulti against the backlog snapshot at zero (genie)
+// control cost. With one channel and one radio it builds exactly the
+// schedules NewGreedyScheduler would.
+func NewGreedyMultiScheduler(cs *phys.ChannelSet, numRadios int, links []phys.Link, ord sched.Ordering) Scheduler {
+	cur := links
+	return Scheduler{
+		Name: fmt.Sprintf("greedy(%v,C=%d)", ord, cs.NumChannels()),
+		Build: func(demands []int, _ int) (*sched.Schedule, des.Time, error) {
+			s, err := sched.GreedyPhysicalMulti(cs, numRadios, cur, demands, ord)
+			return s, 0, err
+		},
+		Rebind: func(t Topology) error {
+			cur = t.Links
+			return nil
+		},
+	}
+}
+
+// NewTDMAMultiScheduler generalizes the TDMA frame to multiple channels:
+// the frame structure keeps the single-channel scan order, but consecutive
+// backlogged links pack into one slot — one link per channel — until the
+// slot's channels run out or an endpoint's radio budget is exhausted, at
+// which point the slot flushes. One transmission per channel per slot is
+// always SINR-feasible within its channel, so the baseline still needs no
+// interference information; each link gets at most one placement per frame
+// (a frame position is a link's, channels only let positions overlap in
+// time). With one channel and one radio it emits exactly NewTDMAScheduler's
+// singleton slots.
+func NewTDMAMultiScheduler(links []phys.Link, channels, numRadios int) Scheduler {
+	if channels < 1 {
+		channels = 1
+	}
+	if numRadios < 1 {
+		numRadios = 1
+	}
+	return Scheduler{
+		Name: fmt.Sprintf("tdma(C=%d)", channels),
+		Build: func(demands []int, _ int) (*sched.Schedule, des.Time, error) {
+			if len(demands) != len(links) {
+				return nil, 0, fmt.Errorf("flow: %d demands for %d links", len(demands), len(links))
+			}
+			remaining := append([]int(nil), demands...)
+			left := 0
+			for _, d := range remaining {
+				if d < 0 {
+					return nil, 0, fmt.Errorf("flow: negative demand %d", d)
+				}
+				left += d
+			}
+			s := sched.NewSchedule()
+			var slotLinks []phys.Link
+			var slotChans []int
+			radios := make(map[int]int)
+			flush := func() {
+				if len(slotLinks) == 0 {
+					return
+				}
+				s.AppendSlotAssigned(slotLinks, slotChans)
+				slotLinks, slotChans = slotLinks[:0], slotChans[:0]
+				clear(radios)
+			}
+			for left > 0 {
+				for i := range links {
+					if remaining[i] <= 0 {
+						continue
+					}
+					l := links[i]
+					if len(slotLinks) >= channels || radios[l.From] >= numRadios || radios[l.To] >= numRadios {
+						flush()
+					}
+					slotChans = append(slotChans, len(slotLinks))
+					slotLinks = append(slotLinks, l)
+					radios[l.From]++
+					radios[l.To]++
+					remaining[i]--
+					left--
+				}
+				flush() // frame boundary: positions never pack across scans
+			}
+			return s, 0, nil
+		},
+	}
+}
+
 // NewTDMAScheduler returns the classical single-slot TDMA baseline: frames
 // that give every backlogged link exactly one singleton slot, repeated until
 // the snapshot is served. One transmission per slot is always SINR-feasible,
@@ -117,6 +203,11 @@ type ProtocolSchedulerConfig struct {
 	Variant core.Variant
 	P       float64 // PDD activation probability
 	Seed    int64   // per-epoch RNG seeds derive from this
+	// Channels is the number of orthogonal data channels each epoch's
+	// protocol run schedules over (0 or 1 = the single-channel protocol);
+	// Radios is the per-node radio budget (0 = 1). See core.Config.
+	Channels int
+	Radios   int
 }
 
 // NewProtocolScheduler returns FDD or PDD as an epoch scheduler. Every epoch
@@ -150,6 +241,9 @@ func NewProtocolScheduler(cfg ProtocolSchedulerConfig) (Scheduler, error) {
 		}
 		name = fmt.Sprintf("PDD(p=%.2f)", cfg.P)
 	}
+	if cfg.Channels > 1 {
+		name = fmt.Sprintf("%s(C=%d)", name, cfg.Channels)
+	}
 	// Build (and validate) the backend once; every epoch clones it, which
 	// shares the sensitivity adjacency but gives the run fresh time
 	// accounting and engine state, instead of re-deriving the adjacency and
@@ -164,10 +258,12 @@ func NewProtocolScheduler(cfg ProtocolSchedulerConfig) (Scheduler, error) {
 		Build: func(demands []int, epoch int) (*sched.Schedule, des.Time, error) {
 			b := proto.Clone()
 			run := core.Config{
-				Variant: cfg.Variant,
-				Links:   links,
-				Demands: demands,
-				Backend: b,
+				Variant:     cfg.Variant,
+				Links:       links,
+				Demands:     demands,
+				Backend:     b,
+				NumChannels: cfg.Channels,
+				NumRadios:   cfg.Radios,
 			}
 			if cfg.Variant == core.PDD {
 				run.Probability = cfg.P

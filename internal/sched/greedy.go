@@ -142,6 +142,71 @@ func greedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Orde
 	return s, nil
 }
 
+// GreedyPhysicalMulti generalizes GreedyPhysical to cs.NumChannels()
+// orthogonal channels and numRadios radios per node: edges are considered in
+// the given order; each edge is placed first-fit over (slot, channel) pairs —
+// slots in order, the channels of each slot in ascending order — wherever the
+// multi-channel slot stays feasible (per-channel SINR, per-node radio
+// budget), appending new slots as needed. With more than one radio per node
+// an edge may ride several channels of the same slot, each placement serving
+// one demand unit. With one channel and one radio it takes exactly
+// GreedyPhysical's decisions and returns its identical single-channel
+// schedule. The returned schedule always satisfies VerifyMulti against the
+// same inputs.
+func GreedyPhysicalMulti(cs *phys.ChannelSet, numRadios int, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
+	if numRadios <= 0 {
+		numRadios = 1
+	}
+	if cs.NumChannels() == 1 && numRadios == 1 {
+		// The single-channel fast path: the slab-allocated SlotState engine,
+		// bit-identical to the schedules shipped before multi-channel
+		// support existed.
+		return greedyPhysical(cs.Base(), links, demands, ord, false)
+	}
+	if len(links) != len(demands) {
+		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
+	}
+	for i, l := range links {
+		if !cs.Base().FeasibleSet([]phys.Link{l}) {
+			return nil, fmt.Errorf("sched: link %v alone is infeasible; no schedule exists", l)
+		}
+		if demands[i] < 0 {
+			return nil, fmt.Errorf("sched: link %v has negative demand %d", l, demands[i])
+		}
+	}
+	var slots []*phys.MultiSlotState
+	for _, ei := range orderEdges(cs.Base(), links, demands, ord) {
+		l := links[ei]
+		remaining := demands[ei]
+		for slot := 0; remaining > 0; slot++ {
+			if slot == len(slots) {
+				slots = append(slots, phys.NewMultiSlotState(cs, numRadios))
+			}
+			for ch := 0; ch < cs.NumChannels() && remaining > 0; ch++ {
+				if slots[slot].CanAdd(l, ch) {
+					slots[slot].Add(l, ch)
+					remaining--
+				}
+			}
+		}
+	}
+	// Materialize; a slot is only ever created by a link that then joins its
+	// channel 0 (the slot is empty and the link is singleton-feasible), so
+	// none is empty.
+	s := NewSchedule()
+	for _, st := range slots {
+		ps := st.Placements()
+		slotLinks := make([]phys.Link, len(ps))
+		slotChans := make([]int, len(ps))
+		for i, p := range ps {
+			slotLinks[i] = p.Link
+			slotChans[i] = p.Channel
+		}
+		s.AppendSlotAssigned(slotLinks, slotChans)
+	}
+	return s, nil
+}
+
 // LocalizedGreedy is GreedyPhysical restricted to k-hop-local information:
 // when deciding whether edge e fits a slot, it only accounts for the
 // interference of already-scheduled links within the k-hop neighborhood of e

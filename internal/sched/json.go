@@ -8,15 +8,18 @@ import (
 )
 
 // scheduleJSON is the wire form of a Schedule: one array of [from, to]
-// pairs per slot.
+// pairs per slot, plus — for multi-channel schedules only — the parallel
+// per-slot channel assignment. Single-channel schedules omit "chans", so
+// their encoding is unchanged from before multi-channel support existed.
 type scheduleJSON struct {
 	Slots [][][2]int `json:"slots"`
+	Chans [][]int    `json:"chans,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler. The encoding is stable and
-// human-inspectable: {"slots": [[[0,1],[5,6]], [[2,3]]]}.
+// human-inspectable: {"slots": [[[0,1],[5,6]], [[2,3]]], "chans": [[0,1],[0]]}.
 func (s *Schedule) MarshalJSON() ([]byte, error) {
-	out := scheduleJSON{Slots: make([][][2]int, len(s.slots))}
+	out := scheduleJSON{Slots: make([][][2]int, len(s.slots)), Chans: s.chans}
 	for i, slot := range s.slots {
 		out.Slots[i] = make([][2]int, len(slot))
 		for j, l := range slot {
@@ -32,6 +35,21 @@ func (s *Schedule) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("sched: decode schedule: %w", err)
 	}
+	if in.Chans != nil {
+		if len(in.Chans) != len(in.Slots) {
+			return fmt.Errorf("sched: %d channel-assignment slots for %d slots", len(in.Chans), len(in.Slots))
+		}
+		for i, chans := range in.Chans {
+			if len(chans) != len(in.Slots[i]) {
+				return fmt.Errorf("sched: slot %d has %d channel assignments for %d links", i, len(chans), len(in.Slots[i]))
+			}
+			for j, c := range chans {
+				if c < 0 {
+					return fmt.Errorf("sched: slot %d entry %d has negative channel %d", i, j, c)
+				}
+			}
+		}
+	}
 	s.slots = make([][]phys.Link, len(in.Slots))
 	for i, slot := range in.Slots {
 		s.slots[i] = make([]phys.Link, len(slot))
@@ -42,5 +60,6 @@ func (s *Schedule) UnmarshalJSON(data []byte) error {
 			s.slots[i][j] = phys.Link{From: pair[0], To: pair[1]}
 		}
 	}
+	s.chans = in.Chans
 	return nil
 }

@@ -12,8 +12,17 @@ import (
 
 // Schedule is an STDMA schedule: an ordered list of slots, each holding the
 // set of directed links that transmit concurrently in that slot.
+//
+// Multi-channel schedules additionally carry a per-slot channel assignment
+// (AppendSlotAssigned / SlotChannels): links of one slot that ride different
+// orthogonal channels do not interfere with each other. A nil assignment
+// means every link rides channel 0 — the single-channel schedules of the
+// paper, whose representation (and JSON encoding) is unchanged.
 type Schedule struct {
 	slots [][]phys.Link
+	// chans, when non-nil, is parallel to slots: chans[i][j] is the channel
+	// of slots[i][j]. A nil chans (or a nil chans[i]) means channel 0.
+	chans [][]int
 }
 
 // NewSchedule returns an empty schedule.
@@ -26,11 +35,14 @@ func (s *Schedule) Length() int { return len(s.slots) }
 // schedule and must not be modified.
 func (s *Schedule) Slot(i int) []phys.Link { return s.slots[i] }
 
-// AppendSlot adds a slot holding the given links (copied).
+// AppendSlot adds a slot holding the given links (copied), all on channel 0.
 func (s *Schedule) AppendSlot(links []phys.Link) {
 	cp := make([]phys.Link, len(links))
 	copy(cp, links)
 	s.slots = append(s.slots, cp)
+	if s.chans != nil && len(s.chans) < len(s.slots) {
+		s.chans = append(s.chans, make([]int, len(links)))
+	}
 }
 
 // AddToSlot places l in slot i, growing the schedule as needed.
@@ -39,6 +51,58 @@ func (s *Schedule) AddToSlot(i int, l phys.Link) {
 		s.slots = append(s.slots, nil)
 	}
 	s.slots[i] = append(s.slots[i], l)
+	if s.chans != nil {
+		for len(s.chans) < len(s.slots) {
+			s.chans = append(s.chans, nil)
+		}
+		s.chans[i] = append(s.chans[i], 0)
+	}
+}
+
+// AppendSlotAssigned adds a slot holding the given links with their channel
+// assignment (both copied). It panics if the two slices disagree in length.
+func (s *Schedule) AppendSlotAssigned(links []phys.Link, channels []int) {
+	if len(links) != len(channels) {
+		panic(fmt.Sprintf("sched: %d links with %d channel assignments", len(links), len(channels)))
+	}
+	if s.chans == nil {
+		// Backfill: every slot appended so far rode channel 0.
+		s.chans = make([][]int, len(s.slots))
+		for i, slot := range s.slots {
+			s.chans[i] = make([]int, len(slot))
+		}
+	}
+	lcp := make([]phys.Link, len(links))
+	copy(lcp, links)
+	s.slots = append(s.slots, lcp)
+	ccp := make([]int, len(channels))
+	copy(ccp, channels)
+	s.chans = append(s.chans, ccp)
+}
+
+// SlotChannels returns the channel assignment of slot i, parallel to
+// Slot(i). It returns nil when the slot has no recorded assignment (every
+// link rides channel 0). The returned slice is owned by the schedule and
+// must not be modified.
+func (s *Schedule) SlotChannels(i int) []int {
+	if s.chans == nil || i >= len(s.chans) {
+		return nil
+	}
+	return s.chans[i]
+}
+
+// NumChannelsUsed returns 1 + the highest channel index any link rides — the
+// channel count a radio plan needs to realize the schedule.
+func (s *Schedule) NumChannelsUsed() int {
+	max := 0
+	for _, slot := range s.chans {
+		for _, c := range slot {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	return max + 1
 }
 
 // TotalTransmissions returns the number of (link, slot) placements.
@@ -51,7 +115,11 @@ func (s *Schedule) TotalTransmissions() int {
 }
 
 // Equal reports whether two schedules are slot-for-slot identical, treating
-// each slot as a set (order within a slot is irrelevant).
+// each slot as a multiset of placements: the same links, with the same
+// multiplicity, on the same channels (order within a slot is irrelevant).
+// Multiplicity matters because a multi-radio link may legally ride several
+// channels of one slot; a slot with no recorded assignment is
+// all-channel-0, so single-channel schedules compare exactly as before.
 func (s *Schedule) Equal(o *Schedule) bool {
 	if s.Length() != o.Length() {
 		return false
@@ -60,14 +128,24 @@ func (s *Schedule) Equal(o *Schedule) bool {
 		if len(s.slots[i]) != len(o.slots[i]) {
 			return false
 		}
-		set := make(map[phys.Link]bool, len(s.slots[i]))
-		for _, l := range s.slots[i] {
-			set[l] = true
+		count := make(map[phys.Placement]int, len(s.slots[i]))
+		sc, oc := s.SlotChannels(i), o.SlotChannels(i)
+		for j, l := range s.slots[i] {
+			p := phys.Placement{Link: l}
+			if sc != nil {
+				p.Channel = sc[j]
+			}
+			count[p]++
 		}
-		for _, l := range o.slots[i] {
-			if !set[l] {
+		for j, l := range o.slots[i] {
+			p := phys.Placement{Link: l}
+			if oc != nil {
+				p.Channel = oc[j]
+			}
+			if count[p] == 0 {
 				return false
 			}
+			count[p]--
 		}
 	}
 	return true
@@ -98,6 +176,56 @@ func (s *Schedule) Verify(ch *phys.Channel, links []phys.Link, demands []int) er
 		for _, l := range slot {
 			got[l]++
 		}
+	}
+	for l, w := range want {
+		if got[l] != w {
+			return fmt.Errorf("sched: link %v scheduled %d times, demand is %d", l, got[l], w)
+		}
+	}
+	for l := range got {
+		if _, ok := want[l]; !ok {
+			return fmt.Errorf("sched: link %v scheduled but has no demand", l)
+		}
+	}
+	return nil
+}
+
+// VerifyMulti checks a multi-channel schedule against the channel set: every
+// slot's channel assignment must be feasible (per-channel SINR inequalities
+// and primary conflicts, plus the per-node radio budget — see
+// phys.ChannelSet.FeasibleAssignment) and the schedule must deliver exactly
+// the given demands, each placement serving one demand unit (a link may ride
+// several channels of one slot when radios allow). Slots without a recorded
+// assignment are taken as all-channel-0.
+func (s *Schedule) VerifyMulti(cs *phys.ChannelSet, numRadios int, links []phys.Link, demands []int) error {
+	if len(links) != len(demands) {
+		return fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
+	}
+	got := make(map[phys.Link]int)
+	for i, slot := range s.slots {
+		if len(slot) == 0 {
+			return fmt.Errorf("sched: slot %d is empty", i)
+		}
+		chans := s.SlotChannels(i)
+		placements := make([]phys.Placement, len(slot))
+		for j, l := range slot {
+			c := 0
+			if chans != nil {
+				c = chans[j]
+			}
+			if c < 0 || c >= cs.NumChannels() {
+				return fmt.Errorf("sched: slot %d assigns %v to channel %d of %d", i, l, c, cs.NumChannels())
+			}
+			placements[j] = phys.Placement{Link: l, Channel: c}
+			got[l]++
+		}
+		if !cs.FeasibleAssignment(placements, numRadios) {
+			return fmt.Errorf("sched: slot %d is infeasible under the multi-channel model (%d radios): %v", i, numRadios, placements)
+		}
+	}
+	want := make(map[phys.Link]int, len(links))
+	for i, l := range links {
+		want[l] += demands[i]
 	}
 	for l, w := range want {
 		if got[l] != w {

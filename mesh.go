@@ -30,6 +30,30 @@ type RadioParams struct {
 	// DefaultRadioParams() when you want the derived default.
 	CSThresholdDBm float64
 	ShadowSigmaDB  float64 // log-normal shadowing std dev; 0 disables
+	// NumRadios is the number of radio interfaces per node (0 means 1). In
+	// multi-channel scheduling a node can be active on at most NumRadios
+	// orthogonal channels per slot; each link placement occupies one radio
+	// at each endpoint. With one channel the value is irrelevant (a
+	// half-duplex node joins at most one transmission per slot regardless).
+	// A RadioParams whose other fields are all zero still gets the
+	// DefaultRadioParams environment: setting only NumRadios does not
+	// silently zero the physics.
+	NumRadios int
+}
+
+// withDefaults returns r with the propagation environment defaulted when
+// every physics field is zero. The all-zero convenience predates NumRadios,
+// so a caller setting only the radio count must not lose the default
+// physics.
+func (r RadioParams) withDefaults() RadioParams {
+	p := r
+	p.NumRadios = 0
+	if p == (RadioParams{}) {
+		d := DefaultRadioParams()
+		d.NumRadios = r.NumRadios
+		return d
+	}
+	return r
 }
 
 // DefaultRadioParams returns the environment used throughout the
@@ -103,13 +127,12 @@ type Mesh struct {
 	Demands []int
 
 	gateways []int
+	radios   int
 }
 
 // NewGridMesh builds a planned grid mesh per the paper's Section VI setup.
 func NewGridMesh(cfg GridMeshConfig) (*Mesh, error) {
-	if cfg.Radio == (RadioParams{}) {
-		cfg.Radio = DefaultRadioParams()
-	}
+	cfg.Radio = cfg.Radio.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var power float64
 	if cfg.TxPowerDBm != 0 {
@@ -123,15 +146,13 @@ func NewGridMesh(cfg GridMeshConfig) (*Mesh, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scream: %w", err)
 	}
-	return finishMesh(net, cfg.Gateways, cfg.DemandLo, cfg.DemandHi, cfg.BalancedRouting, rng)
+	return finishMesh(net, cfg.Gateways, cfg.DemandLo, cfg.DemandHi, cfg.Radio.NumRadios, cfg.BalancedRouting, rng)
 }
 
 // NewUniformMesh builds an unplanned uniform mesh, re-drawing node positions
 // until the communication graph is connected.
 func NewUniformMesh(cfg UniformMeshConfig) (*Mesh, error) {
-	if cfg.Radio == (RadioParams{}) {
-		cfg.Radio = DefaultRadioParams()
-	}
+	cfg.Radio = cfg.Radio.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	net, err := topo.NewUniform(topo.UniformConfig{
 		N: cfg.N, Side: cfg.SideMeters,
@@ -141,7 +162,7 @@ func NewUniformMesh(cfg UniformMeshConfig) (*Mesh, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scream: %w", err)
 	}
-	return finishMesh(net, cfg.Gateways, cfg.DemandLo, cfg.DemandHi, cfg.BalancedRouting, rng)
+	return finishMesh(net, cfg.Gateways, cfg.DemandLo, cfg.DemandHi, cfg.Radio.NumRadios, cfg.BalancedRouting, rng)
 }
 
 // LineMeshConfig describes a line deployment (used by the Theorem 1
@@ -159,9 +180,7 @@ type LineMeshConfig struct {
 
 // NewLineMesh builds a line mesh with power derived from the spacing.
 func NewLineMesh(cfg LineMeshConfig) (*Mesh, error) {
-	if cfg.Radio == (RadioParams{}) {
-		cfg.Radio = DefaultRadioParams()
-	}
+	cfg.Radio = cfg.Radio.withDefaults()
 	net, err := topo.NewLine(cfg.N, cfg.StepMeters, cfg.Radio.toParams(), cfg.RangeSlack)
 	if err != nil {
 		return nil, fmt.Errorf("scream: %w", err)
@@ -171,12 +190,15 @@ func NewLineMesh(cfg LineMeshConfig) (*Mesh, error) {
 		gws = []int{0}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	return finishMesh(net, gws, cfg.DemandLo, cfg.DemandHi, false, rng)
+	return finishMesh(net, gws, cfg.DemandLo, cfg.DemandHi, cfg.Radio.NumRadios, false, rng)
 }
 
-func finishMesh(net *topo.Network, gateways []int, lo, hi int, balanced bool, rng *rand.Rand) (*Mesh, error) {
+func finishMesh(net *topo.Network, gateways []int, lo, hi, radios int, balanced bool, rng *rand.Rand) (*Mesh, error) {
 	if lo == 0 {
 		lo = 1
+	}
+	if radios <= 0 {
+		radios = 1
 	}
 	if hi == 0 {
 		hi = 10
@@ -210,7 +232,7 @@ func finishMesh(net *topo.Network, gateways []int, lo, hi int, balanced bool, rn
 	for i, l := range links {
 		demands[i] = agg[l.From]
 	}
-	return &Mesh{Network: net, Forest: f, Links: links, Demands: demands, gateways: gateways}, nil
+	return &Mesh{Network: net, Forest: f, Links: links, Demands: demands, gateways: gateways, radios: radios}, nil
 }
 
 // NumNodes returns the number of mesh routers.
@@ -228,9 +250,45 @@ func (m *Mesh) InterferenceDiameter() int { return m.Network.InterferenceDiamete
 // NeighborDensity returns rho(G) (Definition 6).
 func (m *Mesh) NeighborDensity() float64 { return m.Network.NeighborDensity() }
 
+// NumRadios returns the per-node radio count (RadioParams.NumRadios,
+// normalized to at least 1).
+func (m *Mesh) NumRadios() int { return m.radios }
+
+// ChannelSet returns a view of the mesh's physical channel as the given
+// number of orthogonal frequency channels (see phys.ChannelSet).
+func (m *Mesh) ChannelSet(channels int) (*ChannelSet, error) {
+	cs, err := phys.NewChannelSet(m.Network.Channel, channels)
+	if err != nil {
+		return nil, fmt.Errorf("scream: %w", err)
+	}
+	return cs, nil
+}
+
 // GreedySchedule runs the centralized GreedyPhysical baseline.
 func (m *Mesh) GreedySchedule(ord Ordering) (*Schedule, error) {
 	return sched.GreedyPhysical(m.Network.Channel, m.Links, m.Demands, ord)
+}
+
+// GreedyScheduleChannels runs the multi-channel centralized greedy over the
+// given number of orthogonal channels with the mesh's per-node radio count.
+// With channels == 1 (and one radio) it is exactly GreedySchedule.
+func (m *Mesh) GreedyScheduleChannels(channels int, ord Ordering) (*Schedule, error) {
+	cs, err := m.ChannelSet(channels)
+	if err != nil {
+		return nil, err
+	}
+	return sched.GreedyPhysicalMulti(cs, m.radios, m.Links, m.Demands, ord)
+}
+
+// VerifyChannels checks a channel-assigned schedule against the
+// multi-channel interference model (per-channel SINR, per-node radio
+// budget) and the mesh's demands.
+func (m *Mesh) VerifyChannels(s *Schedule, channels int) error {
+	cs, err := m.ChannelSet(channels)
+	if err != nil {
+		return err
+	}
+	return s.VerifyMulti(cs, m.radios, m.Links, m.Demands)
 }
 
 // Verify checks a schedule against the physical interference model and the
@@ -308,6 +366,11 @@ type ProtocolOptions struct {
 	PacketLevel bool
 	// ASAPSeal enables the slot-sealing extension (see DESIGN.md).
 	ASAPSeal bool
+	// Channels is the number of orthogonal data channels the protocol
+	// schedules over (0 or 1 = the paper's single-channel protocol). The
+	// per-node radio budget comes from the mesh's RadioParams.NumRadios.
+	// Multi-channel runs require the ideal backend.
+	Channels int
 }
 
 func (m *Mesh) backend(opts ProtocolOptions) (Backend, error) {
@@ -346,6 +409,9 @@ func (m *Mesh) RunPDD(p float64, opts ProtocolOptions) (*Result, error) {
 }
 
 func (m *Mesh) run(cfg core.Config, opts ProtocolOptions) (*Result, error) {
+	if opts.Channels > 1 && opts.PacketLevel {
+		return nil, fmt.Errorf("scream: multi-channel protocol runs require the ideal backend")
+	}
 	b, err := m.backend(opts)
 	if err != nil {
 		return nil, err
@@ -353,6 +419,8 @@ func (m *Mesh) run(cfg core.Config, opts ProtocolOptions) (*Result, error) {
 	cfg.Links = m.Links
 	cfg.Demands = m.Demands
 	cfg.Backend = b
+	cfg.NumChannels = opts.Channels
+	cfg.NumRadios = m.radios
 	return core.Run(cfg)
 }
 

@@ -35,6 +35,68 @@ func TestNewGridMeshDefaults(t *testing.T) {
 	}
 }
 
+// TestNewGridMeshNumRadiosKeepsDefaultPhysics: setting only the radio count
+// must not defeat the all-zero RadioParams default — the mesh gets the
+// default propagation environment plus the requested radios.
+func TestNewGridMeshNumRadiosKeepsDefaultPhysics(t *testing.T) {
+	plain := testGridMesh(t)
+	m, err := NewGridMesh(GridMeshConfig{
+		Rows: 5, Cols: 5, StepMeters: 30, Seed: 1,
+		Radio: RadioParams{NumRadios: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRadios() != 2 {
+		t.Fatalf("NumRadios = %d, want 2", m.NumRadios())
+	}
+	if len(m.Links) != len(plain.Links) || m.TotalDemand() != plain.TotalDemand() {
+		t.Fatalf("radio-only RadioParams changed the topology: %d links TD %d, want %d links TD %d",
+			len(m.Links), m.TotalDemand(), len(plain.Links), plain.TotalDemand())
+	}
+	for i, l := range plain.Links {
+		if m.Links[i] != l {
+			t.Fatalf("link %d = %v, want %v", i, m.Links[i], l)
+		}
+	}
+}
+
+// TestMeshMultiChannelSchedule: the public multi-channel surface — shorter
+// verified schedules through Mesh.GreedyScheduleChannels and the protocol
+// path through ProtocolOptions.Channels.
+func TestMeshMultiChannelSchedule(t *testing.T) {
+	radio := DefaultRadioParams()
+	radio.NumRadios = 2
+	m, err := NewGridMesh(GridMeshConfig{Rows: 5, Cols: 5, StepMeters: 30, Seed: 1, Radio: radio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := m.GreedySchedule(ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := m.GreedyScheduleChannels(4, ByHeadIDDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyChannels(multi, 4); err != nil {
+		t.Fatal(err)
+	}
+	if multi.Length() >= single.Length() {
+		t.Fatalf("4-channel greedy (%d slots) not shorter than single-channel (%d)", multi.Length(), single.Length())
+	}
+	res, err := m.RunFDD(ProtocolOptions{Channels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyChannels(res.Schedule, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunFDD(ProtocolOptions{Channels: 4, PacketLevel: true}); err == nil {
+		t.Fatal("multi-channel packet-level run should be rejected")
+	}
+}
+
 func TestNewGridMeshExplicitGateway(t *testing.T) {
 	m, err := NewGridMesh(GridMeshConfig{Rows: 4, Cols: 4, StepMeters: 30, Gateways: []int{0}, Seed: 2})
 	if err != nil {

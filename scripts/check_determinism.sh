@@ -1,15 +1,20 @@
 #!/bin/sh
 # check_determinism.sh — assert figgen output is byte-identical for any
 # worker count. Runs the requested figures with -workers 1 and -workers 8,
-# strips only the wall-clock annotation, and diffs the two outputs.
+# strips only the wall-clock annotation, splits the outputs into per-figure
+# sections ("## Name" headers) and diffs each figure separately, so a failure
+# names exactly which figures diverged instead of dumping the first raw diff.
 #
 # Usage: scripts/check_determinism.sh [figgen args...]
 #   e.g. scripts/check_determinism.sh -fig all -quick
 #        scripts/check_determinism.sh -fig flow
-#        scripts/check_determinism.sh -fig churn   (topology dynamics)
+#        scripts/check_determinism.sh -fig churn      (topology dynamics)
+#        scripts/check_determinism.sh -fig channels   (multi-channel)
 #
 # FIGGEN overrides the figgen invocation (default: go run ./cmd/figgen),
-# letting CI reuse a prebuilt binary instead of a cold compile.
+# letting CI reuse a prebuilt binary instead of a cold compile. KEEP_DIR,
+# when set, receives one <Figure>.tsv per figure (the stripped -workers 1
+# output) so CI can upload the generated series as build artifacts.
 set -eu
 
 : "${FIGGEN:=go run ./cmd/figgen}"
@@ -17,7 +22,9 @@ set -eu
 raw=$(mktemp) || exit 1
 w1=$(mktemp) || exit 1
 w8=$(mktemp) || exit 1
-trap 'rm -f "$raw" "$w1" "$w8"' EXIT
+d1=$(mktemp -d) || exit 1
+d8=$(mktemp -d) || exit 1
+trap 'rm -rf "$raw" "$w1" "$w8" "$d1" "$d8"' EXIT
 
 # Capture figgen output before stripping the timestamp so a figgen failure
 # fails the script (a pipeline would report only sed's exit status).
@@ -26,8 +33,36 @@ sed 's/generated in [^)]*/generated in X/' "$raw" > "$w1"
 $FIGGEN "$@" -ascii=false -workers 8 > "$raw"
 sed 's/generated in [^)]*/generated in X/' "$raw" > "$w8"
 
-if ! diff "$w1" "$w8"; then
+# split_figures FILE DIR writes each "## Name ..." section of FILE to
+# DIR/Name (figure names are shell-safe identifiers; sanitize regardless).
+split_figures() {
+    awk -v dir="$2" '
+        /^## / { name = $2; gsub(/[^A-Za-z0-9_.-]/, "_", name); out = dir "/" name }
+        out != "" { print > out }
+    ' "$1"
+}
+split_figures "$w1" "$d1"
+split_figures "$w8" "$d8"
+
+if [ -n "${KEEP_DIR:-}" ]; then
+    mkdir -p "$KEEP_DIR"
+    for f in "$d1"/*; do
+        [ -f "$f" ] && cp "$f" "$KEEP_DIR/$(basename "$f").tsv"
+    done
+fi
+
+failed=""
+for name in $( (ls "$d1"; ls "$d8") | sort -u ); do
+    if ! diff -u "$d1/$name" "$d8/$name" >/dev/null 2>&1; then
+        failed="$failed $name"
+        echo "determinism DIFF in $name (-workers 1 vs -workers 8):" >&2
+        diff -u "$d1/$name" "$d8/$name" 2>&1 | head -40 >&2 || true
+    fi
+done
+
+if [ -n "$failed" ]; then
     echo "determinism check FAILED for: figgen $*" >&2
+    echo "figures that diverged across worker counts:$failed" >&2
     exit 1
 fi
 echo "determinism OK for: figgen $*"
