@@ -11,6 +11,8 @@ package scream
 import (
 	"strings"
 	"testing"
+
+	"scream/internal/sched"
 )
 
 var benchOpts = ExperimentOptions{Quick: true, Seeds: 2}
@@ -285,6 +287,99 @@ func BenchmarkGreedyPhysical64(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchDemands64 is the deterministic non-uniform demand vector of the
+// one-shot scheduler benchmarks: varied enough that the max-weight ordering
+// actually re-ranks and the general (non-unit) scheduling path is exercised.
+func benchDemands64(m *Mesh) []int {
+	demands := make([]int, len(m.Links))
+	for i := range demands {
+		demands[i] = 1 + i%4
+	}
+	return demands
+}
+
+// BenchmarkMaxWeightSchedule64 measures one-shot queue-aware schedule
+// construction (backlog x rate ordering + greedy first-fit) on the 64-node
+// grid; compare against BenchmarkGreedyPhysical64 to read off the ordering
+// overhead.
+func BenchmarkMaxWeightSchedule64(b *testing.B) {
+	m, err := NewGridMesh(GridMeshConfig{Rows: 8, Cols: 8, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands := benchDemands64(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.GreedyMaxWeight(m.Network.Channel, m.Links, demands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFanZhangSchedule64 measures one-shot approximation-scheduler
+// construction (length-class partition + per-class first-fit) on the same
+// grid and demands as BenchmarkMaxWeightSchedule64.
+func BenchmarkFanZhangSchedule64(b *testing.B) {
+	m, err := NewGridMesh(GridMeshConfig{Rows: 8, Cols: 8, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands := benchDemands64(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ApproxFanZhang(m.Network.Channel, m.Links, demands); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxWeightEpoch is BenchmarkFlowEpoch with the queue-aware
+// scheduler: the epoch driver re-ranks by backlog snapshot each epoch, so
+// this measures the full backlog -> ordering -> schedule loop under load.
+func BenchmarkMaxWeightEpoch(b *testing.B) {
+	m, err := NewGridMesh(GridMeshConfig{Rows: 4, Cols: 4, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := m.FlowFrameTime(Timing{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	isGW := make(map[int]bool)
+	for _, g := range m.Gateways() {
+		isGW[g] = true
+	}
+	rate := 1.0 / frame.Seconds()
+	arrivals := make([]Arrival, m.NumNodes())
+	for u := range arrivals {
+		if isGW[u] {
+			continue
+		}
+		if arrivals[u], err = NewCBR(rate); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var last *FlowResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunFlow(m, FlowOptions{
+			Scheduler:      FlowMaxWeight,
+			Arrivals:       arrivals,
+			Horizon:        200 * Millisecond,
+			Seed:           int64(i),
+			MaxService:     8,
+			FramesPerEpoch: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Epochs), "epochs")
+	b.ReportMetric(float64(last.Delivered), "delivered_pkts")
+	b.ReportMetric(last.GoodputPps, "goodput_pps")
 }
 
 // BenchmarkSlotStateMultiChannel measures the multi-channel slot engine on

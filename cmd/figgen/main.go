@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figgen [-fig all|4|5|6|7|8|9|flow|churn|channels|ablations] [-quick] [-seeds n] [-workers n] [-ascii]
+//	figgen [-fig all|4|5|6|7|8|9|flow|churn|channels|sched|ablations] [-quick] [-seeds n] [-workers n] [-ascii]
 //
 // -fig also accepts a comma-separated list (e.g. -fig 6,7,8).
 //
@@ -28,7 +28,7 @@ type runner struct {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figures to regenerate: all, 4, 5, 6, 7, 8, 9, flow, churn, channels, ablations, or a comma-separated list")
+		fig     = flag.String("fig", "all", "which figures to regenerate: all, 4, 5, 6, 7, 8, 9, flow, churn, channels, sched, ablations, or a comma-separated list")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		seeds   = flag.Int("seeds", 0, "independent runs per point (0 = default)")
 		workers = flag.Int("workers", 0, "concurrent experiment workers (0 = GOMAXPROCS); output is identical for any value")
@@ -53,6 +53,7 @@ func run(which string, quick bool, seeds, workers int, ascii bool) error {
 		"flow":     {{"FigFlowLoad", scream.FigFlowLoad}},
 		"churn":    {{"FigChurn", scream.FigChurn}},
 		"channels": {{"FigChannels", scream.FigChannels}},
+		"sched":    {{"FigSched", scream.FigSched}},
 		"ablations": {
 			{"AblationPDDProbability", scream.AblationPDDProbability},
 			{"AblationGreedyOrdering", scream.AblationGreedyOrdering},
@@ -68,9 +69,9 @@ func run(which string, quick bool, seeds, workers int, ascii bool) error {
 	for _, key := range strings.Split(which, ",") {
 		key = strings.TrimSpace(key)
 		if key == "all" {
-			// FigChannels deliberately comes last so the output of every
+			// Newer figures deliberately come last so the output of every
 			// older figure stays a byte-identical prefix of earlier builds'.
-			for _, k := range []string{"4", "5", "6", "7", "8", "9", "flow", "churn", "ablations", "channels"} {
+			for _, k := range []string{"4", "5", "6", "7", "8", "9", "flow", "churn", "ablations", "channels", "sched"} {
 				selected = append(selected, figures[k]...)
 			}
 		} else if rs, ok := figures[key]; ok {

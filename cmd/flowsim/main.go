@@ -10,8 +10,14 @@
 // Topology dynamics run underneath when requested: -failrate drives node
 // churn (with -downtime repairs and optionally -failgw gateway outages) and
 // -mobility moves the routers (waypoint or drift at -speed). Adaptive
-// schedulers (greedy, fdd, pdd) re-plan on the incrementally repaired
-// routing forest at epoch boundaries; tdma keeps its static frame.
+// schedulers (greedy, maxweight, fanzhang, fdd, pdd) re-plan on the
+// incrementally repaired routing forest at epoch boundaries; tdma keeps its
+// static frame.
+//
+// The queue-aware maxweight scheduler re-ranks links by backlog x rate each
+// epoch (try it with -arrival zipf, the skewed-backlog regime it exists
+// for); fanzhang is the length-class approximation scheduler. Both are
+// single-channel only.
 //
 // Multi-channel meshes ride -channels orthogonal channels with -radios radio
 // interfaces per node (every scheduler packs slots across the channel set;
@@ -22,6 +28,7 @@
 //	flowsim -rows 8 -cols 8 -step 36 -tx 4 -scheduler fdd -arrival poisson -load 0.8 -horizon 5
 //	flowsim -scheduler greedy -load 0.5 -failrate 0.5 -downtime 0.5 -horizon 5
 //	flowsim -scheduler pdd -mobility waypoint -speed 10 -horizon 5
+//	flowsim -scheduler maxweight -arrival zipf -load 2 -horizon 5
 //	flowsim -scheduler greedy -channels 4 -radios 2 -load 2.5 -horizon 5
 package main
 
@@ -50,7 +57,7 @@ func main() {
 		cols      = flag.Int("cols", 8, "grid cols")
 		step      = flag.Float64("step", 36, "grid step (m)")
 		tx        = flag.Float64("tx", 4, "TX power in dBm (0 = derive from step)")
-		schedName = flag.String("scheduler", "greedy", "epoch scheduler: greedy, fdd, pdd, tdma")
+		schedName = flag.String("scheduler", "greedy", "epoch scheduler: greedy, maxweight, fanzhang, fdd, pdd, tdma")
 		p         = flag.Float64("p", 0.8, "PDD activation probability")
 		arrival   = flag.String("arrival", "poisson", "arrival process: cbr, poisson, bursty, zipf")
 		load      = flag.Float64("load", 0.8, "offered load as a fraction of static capacity")
@@ -98,6 +105,10 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 	switch schedName {
 	case "greedy":
 		scheduler = scream.FlowGreedy
+	case "maxweight":
+		scheduler = scream.FlowMaxWeight
+	case "fanzhang":
+		scheduler = scream.FlowFanZhang
 	case "fdd":
 		scheduler = scream.FlowFDD
 	case "pdd":

@@ -47,6 +47,14 @@ func FigChurn(opts ExperimentOptions) (*Figure, error) { return exp.FigChurn(opt
 // DESIGN.md).
 func FigChannels(opts ExperimentOptions) (*Figure, error) { return exp.FigChannels(opts) }
 
+// FigSched sweeps offered load under Zipf hotspot arrivals across grid and
+// uniform deployments for the scheduler family: static greedy, queue-aware
+// max-weight, the Fan-Zhang length-class approximation and the TDMA floor,
+// all at zero control cost so the comparison isolates scheduling quality
+// (extension; see the "Scheduler family & optimality gap" section of
+// DESIGN.md).
+func FigSched(opts ExperimentOptions) (*Figure, error) { return exp.FigSched(opts) }
+
 // Ablations for the design choices called out in DESIGN.md.
 
 // AblationPDDProbability sweeps PDD's activation probability p.

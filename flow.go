@@ -43,6 +43,15 @@ const (
 	// FlowTDMA serves every backlogged link one singleton slot per frame:
 	// the no-spatial-reuse baseline, zero control cost.
 	FlowTDMA
+	// FlowMaxWeight re-ranks links by backlog x Shannon-rate each epoch and
+	// admits greedily in that order — the queue-aware centralized baseline,
+	// zero control cost. Single-channel only.
+	FlowMaxWeight
+	// FlowFanZhang partitions links into geometric length classes and
+	// first-fits each class on fresh slots, longest class first — the
+	// approximation-guarantee scheduler, zero control cost. Single-channel
+	// only.
+	FlowFanZhang
 )
 
 // FlowOptions parameterizes RunFlow.
@@ -236,6 +245,15 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 			scheduler = flow.NewGreedyMultiScheduler(cs, m.radios, m.Links, ord)
 		} else {
 			scheduler = flow.NewGreedyScheduler(net.Channel, m.Links, ord)
+		}
+	case FlowMaxWeight, FlowFanZhang:
+		if channels > 1 {
+			return nil, fmt.Errorf("scream: flow scheduler %d is single-channel only", opts.Scheduler)
+		}
+		if opts.Scheduler == FlowMaxWeight {
+			scheduler = flow.NewMaxWeightScheduler(net.Channel, m.Links)
+		} else {
+			scheduler = flow.NewFanZhangScheduler(net.Channel, m.Links)
 		}
 	case FlowTDMA:
 		if channels > 1 {

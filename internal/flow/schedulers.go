@@ -71,6 +71,49 @@ func NewGreedyScheduler(ch *phys.Channel, links []phys.Link, ord sched.Ordering)
 	}
 }
 
+// NewMaxWeightScheduler returns the max-weight backlog×rate scheduler as an
+// epoch scheduler: every epoch re-ranks the links by the product of their
+// backlog snapshot and rate proxy (sched.MaxWeightOrder) and runs the greedy
+// admission engine in that order — the queue-aware discipline of
+// heavy-traffic scheduling, against GreedyPhysical's static link order.
+// Control cost is idealized to zero, the same genie as NewGreedyScheduler,
+// so the two are directly comparable. It is adaptive under topology
+// dynamics: Rebind re-targets it at the repaired link set.
+func NewMaxWeightScheduler(ch *phys.Channel, links []phys.Link) Scheduler {
+	cur := links
+	return Scheduler{
+		Name: "maxweight",
+		Build: func(demands []int, _ int) (*sched.Schedule, des.Time, error) {
+			s, err := sched.GreedyMaxWeight(ch, cur, demands)
+			return s, 0, err
+		},
+		Rebind: func(t Topology) error {
+			cur = t.Links
+			return nil
+		},
+	}
+}
+
+// NewFanZhangScheduler returns the Fan-Zhang-style length-class
+// approximation scheduler as an epoch scheduler: every epoch partitions the
+// backlogged links into geometric length classes and schedules each class
+// separately (sched.ApproxFanZhang), at zero (genie) control cost. Adaptive
+// under topology dynamics via Rebind, like the other centralized baselines.
+func NewFanZhangScheduler(ch *phys.Channel, links []phys.Link) Scheduler {
+	cur := links
+	return Scheduler{
+		Name: "fanzhang",
+		Build: func(demands []int, _ int) (*sched.Schedule, des.Time, error) {
+			s, err := sched.ApproxFanZhang(ch, cur, demands)
+			return s, 0, err
+		},
+		Rebind: func(t Topology) error {
+			cur = t.Links
+			return nil
+		},
+	}
+}
+
 // NewGreedyMultiScheduler is NewGreedyScheduler over cs.NumChannels()
 // orthogonal channels and numRadios radios per node: every epoch re-runs
 // sched.GreedyPhysicalMulti against the backlog snapshot at zero (genie)

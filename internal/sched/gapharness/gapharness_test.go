@@ -1,0 +1,160 @@
+package gapharness
+
+import (
+	"testing"
+
+	"scream/internal/sched"
+)
+
+// The pinned worst-case optimality gaps: every registered backend must stay
+// under its pinned worst gap on the fixed instance grid, and every backend
+// must have a pin — adding a scheduler to sched.Backends without extending
+// these tables fails the suite. Pins carry headroom over the measured worst
+// (e.g. greedy measured 1.29 on the unit grid, pinned at 1.5): they are
+// regression tripwires for scheduler-quality collapse, not precision
+// measurements.
+
+// checkPins runs one gap computation and asserts the per-backend pins.
+func checkPins(t *testing.T, gaps []Gap, pins map[string]float64, what string) {
+	t.Helper()
+	for _, g := range gaps {
+		pin, ok := pins[g.Backend]
+		if !ok {
+			t.Errorf("%s: backend %q has no pinned worst gap — extend the table", what, g.Backend)
+			continue
+		}
+		if g.Instances == 0 {
+			t.Errorf("%s: backend %q measured on zero instances", what, g.Backend)
+			continue
+		}
+		if g.Worst > pin {
+			t.Errorf("%s: %s worst gap %.3f exceeds pin %.2f (mean %.3f over %d instances)",
+				what, g.Backend, g.Worst, pin, g.Mean, g.Instances)
+		}
+		if g.Worst < 1 || g.Mean < 1 {
+			t.Errorf("%s: %s gap below 1 (worst %.3f, mean %.3f): ratios are broken",
+				what, g.Backend, g.Worst, g.Mean)
+		}
+		t.Logf("%s: %-22s worst %.3f mean %.3f (pin %.2f, %d instances)",
+			what, g.Backend, g.Worst, g.Mean, pin, g.Instances)
+	}
+}
+
+// TestExactGapsUnitDemand16Links pins every backend's exact worst gap on the
+// fixed 16-link unit-demand grid (line/grid/uniform × 4 seeds): the property
+// the repo previously asserted for one greedy order on one topology, now
+// continuously verified for the whole family.
+func TestExactGapsUnitDemand16Links(t *testing.T) {
+	instances, err := DefaultInstances(16, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps, err := ExactGaps(nil, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPins(t, gaps, map[string]float64{
+		"greedy(head-id-desc)": 1.5,
+		"greedy(demand-desc)":  1.5,
+		"greedy(length-desc)":  1.5,
+		"maxweight":            1.5,
+		"fanzhang":             2.0,
+	}, "unit-16")
+}
+
+// TestExactGapsGeneralDemands pins the family against the general-demand
+// exact DP (8 links, demands in [1,3]) — the regime the flow layer's real
+// aggregated demand vectors live in.
+func TestExactGapsGeneralDemands(t *testing.T) {
+	instances, err := DefaultInstances(8, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps, err := ExactGaps(nil, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPins(t, gaps, map[string]float64{
+		"greedy(head-id-desc)": 1.4,
+		"greedy(demand-desc)":  1.4,
+		"greedy(length-desc)":  1.4,
+		"maxweight":            1.4,
+		"fanzhang":             1.8,
+	}, "general-8")
+}
+
+// TestRatioGapsLargeInstances pins the relative spread on 40-link instances
+// beyond the exact DP: no backend may trail the best backend by more than
+// its pin, and on every instance some backend has ratio exactly 1.
+func TestRatioGapsLargeInstances(t *testing.T) {
+	var instances []*Instance
+	for _, kind := range Topologies() {
+		for s := 0; s < 3; s++ {
+			inst, err := RandomInstance(kind, 40, 6, int64(7000+s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			instances = append(instances, inst)
+		}
+	}
+	gaps, err := RatioGaps(nil, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPins(t, gaps, map[string]float64{
+		"greedy(head-id-desc)": 1.5,
+		"greedy(demand-desc)":  1.5,
+		"greedy(length-desc)":  1.5,
+		"maxweight":            1.5,
+		"fanzhang":             2.2,
+	}, "ratio-40")
+	best := 10.0
+	for _, g := range gaps {
+		if g.Worst < best {
+			best = g.Worst
+		}
+	}
+	if best > 2.2 {
+		t.Errorf("even the best backend trails by %.3f: ratio normalization is broken", best)
+	}
+}
+
+// TestExactGapsRejectOversizedInstances pins the harness's error path: the
+// exact path must refuse instances beyond the DP limits instead of silently
+// reporting a bogus gap.
+func TestExactGapsRejectOversizedInstances(t *testing.T) {
+	inst, err := RandomInstance("grid", 21, 1, 1)
+	if err == nil && len(inst.Links) == 21 {
+		if _, err := ExactGaps(nil, []*Instance{inst}); err == nil {
+			t.Error("21-link exact gap should fail (OptimalLength limit)")
+		}
+	}
+	if _, err := RandomInstance("klein-bottle", 8, 1, 1); err == nil {
+		t.Error("unknown topology should fail")
+	}
+	if _, err := RandomInstance("grid", 0, 1, 1); err == nil {
+		t.Error("zero links should fail")
+	}
+}
+
+// TestBackendsAllRegistered pins the registry shape the harness (and the
+// sched figure) relies on: at least the two new queue-aware/approximation
+// schedulers plus the greedy family, with unique names.
+func TestBackendsAllRegistered(t *testing.T) {
+	backends := sched.Backends()
+	seen := map[string]bool{}
+	for _, b := range backends {
+		if seen[b.Name] {
+			t.Errorf("duplicate backend name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Build == nil {
+			t.Errorf("backend %q has no Build", b.Name)
+		}
+	}
+	for _, want := range []string{"greedy(head-id-desc)", "maxweight", "fanzhang"} {
+		if !seen[want] {
+			t.Errorf("backend %q missing from registry", want)
+		}
+	}
+}

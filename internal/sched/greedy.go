@@ -93,12 +93,21 @@ func greedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Orde
 	if len(links) != len(demands) {
 		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
 	}
-	for i, l := range links {
+	return greedyPhysicalOrdered(ch, links, demands, orderEdges(ch, links, demands, ord), dataOnly)
+}
+
+// greedyPhysicalOrdered runs the first-fit greedy admission pass over the
+// links named by order (indices into links/demands), in that order. Links
+// absent from order are ignored — the Fan-Zhang class scheduler exploits
+// this to run the engine on one length class at a time.
+func greedyPhysicalOrdered(ch *phys.Channel, links []phys.Link, demands []int, order []int, dataOnly bool) (*Schedule, error) {
+	for _, ei := range order {
+		l := links[ei]
 		if !ch.FeasibleSet([]phys.Link{l}) {
 			return nil, fmt.Errorf("sched: link %v alone is infeasible; no schedule exists", l)
 		}
-		if demands[i] < 0 {
-			return nil, fmt.Errorf("sched: link %v has negative demand %d", l, demands[i])
+		if demands[ei] < 0 {
+			return nil, fmt.Errorf("sched: link %v has negative demand %d", l, demands[ei])
 		}
 	}
 
@@ -110,7 +119,7 @@ func greedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Orde
 	const slabSize = 64
 	var slabs []*[slabSize]phys.SlotState
 	var slots []*phys.SlotState
-	for _, ei := range orderEdges(ch, links, demands, ord) {
+	for _, ei := range order {
 		l := links[ei]
 		remaining := demands[ei]
 		for slot := 0; remaining > 0; slot++ {

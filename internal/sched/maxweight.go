@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scream/internal/phys"
+)
+
+// The max-weight backlog×rate scheduler: greedy admission ordered by the
+// product of a link's queued demand (its backlog snapshot) and its rate
+// proxy, instead of a static link order. This is the classical max-weight
+// discipline of heavy-traffic scheduling on interfering routes
+// (arXiv:1106.1590): serving the heaviest backlog×rate links first keeps the
+// queue vector balanced under skewed load, where a static order keeps
+// draining the same early links while hotspot queues grow.
+
+// LinkRate returns the rate proxy of a link used by the max-weight ordering:
+// the Shannon spectral efficiency log2(1 + SNR) of the link in isolation.
+// The flow layer's slots carry one packet regardless of SNR, so the proxy
+// acts purely as a quality prior — at equal backlog, links with more SINR
+// headroom (which pack better into slots) are served first.
+func LinkRate(ch *phys.Channel, l phys.Link) float64 {
+	return math.Log2(1 + ch.SNR(l.From, l.To))
+}
+
+// MaxWeightOrder returns the indices of links in decreasing
+// demand×LinkRate weight. Equal weights break by ascending link index — a
+// stable, topology-independent tie rule, so schedules are byte-identical
+// across runs and worker counts (the determinism discipline of the
+// experiment engine; see TestMaxWeightOrderTieBreak).
+func MaxWeightOrder(ch *phys.Channel, links []phys.Link, demands []int) []int {
+	w := make([]float64, len(links))
+	for i, l := range links {
+		w[i] = float64(demands[i]) * LinkRate(ch, l)
+	}
+	idx := make([]int, len(links))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if w[idx[a]] != w[idx[b]] {
+			return w[idx[a]] > w[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// GreedyMaxWeight computes a feasible schedule with the same first-fit
+// admission engine as GreedyPhysical, but ordered by MaxWeightOrder: the
+// heaviest backlog×rate links claim the early slots. The returned schedule
+// always satisfies Verify against the same inputs.
+func GreedyMaxWeight(ch *phys.Channel, links []phys.Link, demands []int) (*Schedule, error) {
+	if len(links) != len(demands) {
+		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
+	}
+	return greedyPhysicalOrdered(ch, links, demands, MaxWeightOrder(ch, links, demands), false)
+}

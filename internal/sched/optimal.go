@@ -7,53 +7,68 @@ import (
 	"scream/internal/phys"
 )
 
+// maxOptimalStates caps the residual-demand state space of the general
+// (non-unit) demand DP: the product of (demand_i + 1) over scheduled links.
+// 1<<21 states keep the memo table around 8 MB and the run under a second —
+// the harness regime the exact solver exists for.
+const maxOptimalStates = 1 << 21
+
 // OptimalLength computes the minimum feasible schedule length for small
-// instances by exact set-cover dynamic programming over link subsets: it
-// enumerates the feasible link sets (the "independent sets" of the physical
-// interference model) and finds the minimum number needed to cover every
-// unit of demand. Exponential in the number of links — intended for
-// validating greedy's quality and the Theorem 4 approximation bound on
-// instances with up to ~16 links of unit demand.
+// instances by exact dynamic programming over the feasible link sets (the
+// "independent sets" of the physical interference model). Feasibility is
+// downward closed — removing a link only removes interference — so covering
+// with arbitrary feasible sets is exact and the DP is sound.
 //
-// Demands above one are handled by observing that an optimal schedule can
-// repeat each cover element: with demands d_i, the LP-free exact answer for
-// the covering formulation is obtained by a DP over demand vectors only when
-// demands are uniform; for general demands OptimalLength requires all
-// demands equal to one and returns an error otherwise (callers expand or
-// normalize demands).
+// Unit-demand instances run the classical set-cover DP over link subsets
+// (2^n states). General demands run a DP over residual demand vectors
+// (prod(d_i+1) states): an optimal schedule may repeat a feasible set, which
+// subset states cannot express. Both are exponential — intended for
+// validating scheduler quality on instances with at most 20 links, and for
+// general demands additionally prod(d_i+1) <= 2^21 states (links with zero
+// demand are ignored). Instances beyond either limit return an error.
 func OptimalLength(ch *phys.Channel, links []phys.Link, demands []int) (int, error) {
-	n := len(links)
-	if n != len(demands) {
-		return 0, fmt.Errorf("sched: %d links vs %d demands", n, len(demands))
+	if len(links) != len(demands) {
+		return 0, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
 	}
+	// Zero-demand links need no slots; drop them so they neither count
+	// against the link limit nor inflate the state space.
+	var fl []phys.Link
+	var fd []int
+	unit := true
+	for i, d := range demands {
+		switch {
+		case d < 0:
+			return 0, fmt.Errorf("sched: link %v has negative demand %d", links[i], d)
+		case d == 0:
+			continue
+		case d > 1:
+			unit = false
+		}
+		fl = append(fl, links[i])
+		fd = append(fd, d)
+	}
+	n := len(fl)
 	if n == 0 {
 		return 0, nil
 	}
 	if n > 20 {
 		return 0, fmt.Errorf("sched: OptimalLength supports at most 20 links, got %d", n)
 	}
-	for i, d := range demands {
-		if d != 1 {
-			return 0, fmt.Errorf("sched: OptimalLength requires unit demands, link %d has %d", i, d)
-		}
-		if !ch.FeasibleSet([]phys.Link{links[i]}) {
-			return 0, fmt.Errorf("sched: link %v alone infeasible", links[i])
+	for _, l := range fl {
+		if !ch.FeasibleSet([]phys.Link{l}) {
+			return 0, fmt.Errorf("sched: link %v alone infeasible", l)
 		}
 	}
 
-	// Enumerate maximal feasible subsets. Feasibility is not monotone
-	// under the SINR model in general (removing a link always helps,
-	// i.e. feasibility IS downward closed: less interference). Since it
-	// is downward closed, covering is optimal with any feasible sets and
-	// the DP over subsets works with per-subset feasibility.
+	// Enumerate the feasible subsets once; both DPs consume the table.
+	// Downward closure prunes: a set can only be feasible if removing its
+	// lowest link leaves a feasible set, which skips most of the exponential
+	// space before the expensive SINR evaluation.
 	full := (1 << n) - 1
 	feasible := make([]bool, full+1)
 	feasible[0] = true
 	buf := make([]phys.Link, 0, n)
 	for mask := 1; mask <= full; mask++ {
-		// Downward closure: a set can only be feasible if removing its
-		// lowest link leaves a feasible set. This prunes most of the
-		// exponential space before the expensive SINR evaluation.
 		low := mask & (-mask)
 		if !feasible[mask&^low] {
 			continue
@@ -61,13 +76,22 @@ func OptimalLength(ch *phys.Channel, links []phys.Link, demands []int) (int, err
 		buf = buf[:0]
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
-				buf = append(buf, links[i])
+				buf = append(buf, fl[i])
 			}
 		}
 		feasible[mask] = ch.FeasibleSet(buf)
 	}
 
-	// DP: cover[mask] = minimum slots to schedule the links in mask.
+	if unit {
+		return optimalUnit(n, feasible)
+	}
+	return optimalGeneral(n, fd, feasible)
+}
+
+// optimalUnit is the set-cover DP over link subsets: cover[mask] = minimum
+// slots to schedule the links in mask exactly once each.
+func optimalUnit(n int, feasible []bool) (int, error) {
+	full := (1 << n) - 1
 	const inf = 1 << 30
 	cover := make([]int, full+1)
 	for i := range cover {
@@ -96,4 +120,73 @@ func OptimalLength(ch *phys.Channel, links []phys.Link, demands []int) (int, err
 		return 0, fmt.Errorf("sched: no feasible cover found (unschedulable instance)")
 	}
 	return cover[full], nil
+}
+
+// optimalGeneral is the DP over residual demand vectors in mixed-radix
+// encoding: state = sum residual_i * stride_i with stride_i = prod of
+// (d_j+1) for j < i. Each step serves the lowest link with residual demand
+// together with any feasible companion subset of the other backlogged links,
+// so every reachable slot composition is explored exactly once.
+func optimalGeneral(n int, demands []int, feasible []bool) (int, error) {
+	strides := make([]int, n)
+	total := 1
+	for i, d := range demands {
+		strides[i] = total
+		if total > maxOptimalStates/(d+1) {
+			return 0, fmt.Errorf("sched: OptimalLength demand state space exceeds %d states (demands too large for the exact solver; cap or normalize them)", maxOptimalStates)
+		}
+		total *= d + 1
+	}
+
+	const inf = int32(1 << 30)
+	memo := make([]int32, total)
+	for i := range memo {
+		memo[i] = -1
+	}
+	memo[0] = 0
+
+	var solve func(state int) int32
+	solve = func(state int) int32 {
+		if memo[state] >= 0 {
+			return memo[state]
+		}
+		memo[state] = inf // placeholder; every transition strictly decreases state
+		// Decode the support mask of links with residual demand.
+		support := 0
+		low := -1
+		for i := n - 1; i >= 0; i-- {
+			if (state/strides[i])%(demands[i]+1) > 0 {
+				support |= 1 << i
+				low = i
+			}
+		}
+		rest := support &^ (1 << low)
+		best := inf
+		for sub := rest; ; sub = (sub - 1) & rest {
+			slot := sub | (1 << low)
+			if feasible[slot] {
+				next := state
+				for m := slot; m != 0; m &= m - 1 {
+					next -= strides[bits.TrailingZeros(uint(m))]
+				}
+				if c := solve(next); c < inf && c+1 < best {
+					best = c + 1
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+		memo[state] = best
+		return best
+	}
+
+	start := 0
+	for i, d := range demands {
+		start += d * strides[i]
+	}
+	if got := solve(start); got < inf {
+		return int(got), nil
+	}
+	return 0, fmt.Errorf("sched: no feasible cover found (unschedulable instance)")
 }

@@ -60,11 +60,11 @@ func TestOptimalLengthErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OptimalLength(net.Channel, []phys.Link{{From: 0, To: 1}}, []int{2}); err == nil {
-		t.Error("non-unit demand should fail")
-	}
 	if _, err := OptimalLength(net.Channel, []phys.Link{{From: 0, To: 1}}, []int{1, 1}); err == nil {
 		t.Error("length mismatch should fail")
+	}
+	if _, err := OptimalLength(net.Channel, []phys.Link{{From: 0, To: 1}}, []int{-1}); err == nil {
+		t.Error("negative demand should fail")
 	}
 	if _, err := OptimalLength(net.Channel, []phys.Link{{From: 0, To: 24}}, []int{1}); err == nil {
 		t.Error("unschedulable link should fail")
@@ -78,8 +78,94 @@ func TestOptimalLengthErrors(t *testing.T) {
 	if _, err := OptimalLength(net.Channel, big, bigD); err == nil {
 		t.Error("too many links should fail")
 	}
+	// The general-demand DP is bounded by its residual state space,
+	// prod(d_i+1) <= 2^21: eight links of demand 7 need 8^8 ~ 16.7M states.
+	var fatLinks []phys.Link
+	var fatD []int
+	for i := 0; i < 8; i++ {
+		fatLinks = append(fatLinks, phys.Link{From: 3 * i, To: 3*i + 1})
+		fatD = append(fatD, 7)
+	}
+	if _, err := OptimalLength(net.Channel, fatLinks, fatD); err == nil {
+		t.Error("oversized demand state space should fail")
+	}
 	if got, err := OptimalLength(net.Channel, nil, nil); err != nil || got != 0 {
 		t.Errorf("empty instance should be 0, got %d, %v", got, err)
+	}
+	// All-zero demands need no slots, and zero-demand links must not count
+	// against the 20-link limit.
+	if got, err := OptimalLength(net.Channel, []phys.Link{{From: 0, To: 1}}, []int{0}); err != nil || got != 0 {
+		t.Errorf("zero-demand instance should be 0, got %d, %v", got, err)
+	}
+	zeros := make([]phys.Link, 30)
+	zeroD := make([]int, 30)
+	for i := range zeros {
+		zeros[i] = phys.Link{From: i % 24, To: i%24 + 1}
+	}
+	zeros = append(zeros, phys.Link{From: 0, To: 1})
+	zeroD = append(zeroD, 1)
+	if got, err := OptimalLength(net.Channel, zeros, zeroD); err != nil || got != 1 {
+		t.Errorf("zero-demand links must be dropped before the link limit: got %d, %v", got, err)
+	}
+}
+
+// TestOptimalLengthGeneralDemands exercises the non-unit-demand DP against
+// exactly solvable instances: a fully conflicting chain must serialize to the
+// demand total, a mutually feasible well-separated set needs exactly the
+// maximum demand, and on mixed instances the exact value must bracket
+// between the trivial lower bounds and every greedy backend's length — the
+// flow layer's real (aggregated, non-unit) demand vectors are what the gap
+// harness feeds this solver.
+func TestOptimalLengthGeneralDemands(t *testing.T) {
+	net, err := topo.NewLine(16, 30, topo.DefaultParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chained links: pairwise primary conflicts force full serialization.
+	chain := []phys.Link{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}}
+	opt, err := OptimalLength(net.Channel, chain, []int{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 6 {
+		t.Errorf("conflicting chain with demands 3+1+2: OPT = %d, want 6", opt)
+	}
+	// Well-separated links: if they are mutually feasible, the schedule is
+	// bottlenecked by the heaviest link alone.
+	apart := []phys.Link{{From: 0, To: 1}, {From: 7, To: 8}, {From: 14, To: 15}}
+	demands := []int{4, 2, 1}
+	opt, err = OptimalLength(net.Channel, apart, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Channel.FeasibleSet(apart) {
+		if opt != 4 {
+			t.Errorf("concurrent-feasible set: OPT = %d, want max demand 4", opt)
+		}
+	} else if opt < 4 || opt > 7 {
+		t.Errorf("OPT = %d outside [4, 7]", opt)
+	}
+	// Every registered backend's schedule is an upper bound; max demand and
+	// the unit-demand optimum are lower bounds.
+	unitD := []int{1, 1, 1}
+	unitOpt, err := OptimalLength(net.Channel, apart, unitD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt < unitOpt {
+		t.Errorf("general OPT %d below unit OPT %d", opt, unitOpt)
+	}
+	for _, b := range Backends() {
+		s, err := b.Build(net.Channel, apart, demands)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := s.Verify(net.Channel, apart, demands); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if s.Length() < opt {
+			t.Errorf("%s length %d beat the optimum %d: DP is wrong", b.Name, s.Length(), opt)
+		}
 	}
 }
 

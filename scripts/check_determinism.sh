@@ -10,6 +10,7 @@
 #        scripts/check_determinism.sh -fig flow
 #        scripts/check_determinism.sh -fig churn      (topology dynamics)
 #        scripts/check_determinism.sh -fig channels   (multi-channel)
+#        scripts/check_determinism.sh -fig sched      (scheduler family)
 #
 # FIGGEN overrides the figgen invocation (default: go run ./cmd/figgen),
 # letting CI reuse a prebuilt binary instead of a cold compile. KEEP_DIR,
