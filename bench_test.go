@@ -274,6 +274,71 @@ func BenchmarkFlowEpoch(b *testing.B) {
 	b.ReportMetric(last.GoodputPps, "goodput_pps")
 }
 
+// benchFlowEpochObs is BenchmarkFlowEpoch's scenario with observability in a
+// chosen state; the Enabled/Disabled pair quantifies the overhead of the
+// metrics substrate on the epoch driver's hot path. Disabled must stay
+// within the benchguard gate of BenchmarkFlowEpoch itself — the nil-check
+// branches are the entire cost of shipping the instrumentation.
+func benchFlowEpochObs(b *testing.B, enabled bool) {
+	m, err := NewGridMesh(GridMeshConfig{Rows: 4, Cols: 4, StepMeters: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := m.FlowFrameTime(Timing{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	isGW := make(map[int]bool)
+	for _, g := range m.Gateways() {
+		isGW[g] = true
+	}
+	rate := 1.0 / frame.Seconds()
+	arrivals := make([]Arrival, m.NumNodes())
+	for u := range arrivals {
+		if isGW[u] {
+			continue
+		}
+		if arrivals[u], err = NewCBR(rate); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var reg *ObsRegistry
+	if enabled {
+		reg = NewObsRegistry()
+		EnableRuntimeMetrics(reg)
+		defer EnableRuntimeMetrics(nil) // detach the process globals for the other benchmarks
+	}
+	var last *FlowResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunFlow(m, FlowOptions{
+			Scheduler:      FlowGreedy,
+			Arrivals:       arrivals,
+			Horizon:        200 * Millisecond,
+			Seed:           int64(i),
+			MaxService:     8,
+			FramesPerEpoch: 8,
+			Metrics:        reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Epochs), "epochs")
+	b.ReportMetric(float64(last.Delivered), "delivered_pkts")
+}
+
+// BenchmarkFlowEpochObsDisabled is BenchmarkFlowEpoch through the
+// observability-aware code paths with no registry attached: the pure cost
+// of the disabled-path nil checks.
+func BenchmarkFlowEpochObsDisabled(b *testing.B) { benchFlowEpochObs(b, false) }
+
+// BenchmarkFlowEpochObsEnabled runs the same scenario with a live registry
+// wired into every layer (flow, core, sched, phys): the full collection
+// cost under the heaviest instrumentation.
+func BenchmarkFlowEpochObsEnabled(b *testing.B) { benchFlowEpochObs(b, true) }
+
 // Micro-benchmarks for the primitives themselves.
 
 func BenchmarkGreedyPhysical64(b *testing.B) {

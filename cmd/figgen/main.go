@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"scream"
+	"scream/internal/buildinfo"
 )
 
 type runner struct {
@@ -33,8 +34,29 @@ func main() {
 		seeds   = flag.Int("seeds", 0, "independent runs per point (0 = default)")
 		workers = flag.Int("workers", 0, "concurrent experiment workers (0 = GOMAXPROCS); output is identical for any value")
 		ascii   = flag.Bool("ascii", true, "also render ASCII charts")
+		obsAddr = flag.String("obs", "", "serve /metrics and /debug/pprof on this address while generating (e.g. :9090)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+	if *obsAddr != "" {
+		// Metrics are write-only and the TSV pipeline never reads them, so
+		// the figures stay byte-identical with the registry wired in; the
+		// exposition surface exists to watch long generations progress and
+		// to profile them.
+		reg := scream.NewObsRegistry()
+		scream.EnableRuntimeMetrics(reg)
+		srv, addr, err := scream.ServeObs(*obsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figgen:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
 	if err := run(*fig, *quick, *seeds, *workers, *ascii); err != nil {
 		fmt.Fprintln(os.Stderr, "figgen:", err)
 		os.Exit(1)

@@ -36,8 +36,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"scream"
+	"scream/internal/buildinfo"
 )
 
 // dynFlags collects the topology-dynamics command line.
@@ -68,6 +71,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		channels  = flag.Int("channels", 1, "orthogonal data channels (1 = classic single-channel)")
 		radios    = flag.Int("radios", 1, "radio interfaces per node (max channels a node uses per slot)")
+		obsAddr   = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (e.g. :9090); the process stays up after the run until interrupted")
+		traceFile = flag.String("trace", "", "write a JSONL event trace (schema v1) to this file")
+		version   = flag.Bool("version", false, "print version and exit")
 		dyn       dynFlags
 	)
 	flag.Float64Var(&dyn.failRate, "failrate", 0, "node failures per node per second (0 = no churn)")
@@ -78,18 +84,47 @@ func main() {
 	flag.Float64Var(&dyn.pause, "pause", 0.2, "waypoint pause time (s)")
 	flag.Float64Var(&dyn.moveInt, "moveint", 0.1, "mobility position sampling interval (s)")
 	flag.Parse()
-	if err := run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *channels, *radios, *seed, dyn); err != nil {
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+	if err := run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *channels, *radios, *seed, *obsAddr, *traceFile, dyn); err != nil {
 		fmt.Fprintln(os.Stderr, "flowsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue, channels, radios int, seed int64, dyn dynFlags) error {
+func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue, channels, radios int, seed int64, obsAddr, traceFile string, dyn dynFlags) error {
 	if channels < 1 {
 		return fmt.Errorf("need at least 1 channel, got %d", channels)
 	}
 	if radios < 1 {
 		return fmt.Errorf("need at least 1 radio per node, got %d", radios)
+	}
+
+	// Observability opt-ins. Metrics must be wired before the mesh and
+	// frame-time computation below: FlowFrameTime runs the greedy scheduler,
+	// whose construction counters should land in the registry too.
+	var reg *scream.ObsRegistry
+	if obsAddr != "" {
+		reg = scream.NewObsRegistry()
+		scream.EnableRuntimeMetrics(reg)
+		srv, addr, err := scream.ServeObs(obsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
+	var tracer *scream.ObsTracer
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = scream.NewObsTracer(f)
+		defer tracer.Flush()
 	}
 	radio := scream.DefaultRadioParams()
 	radio.NumRadios = radios
@@ -225,6 +260,8 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 		FramesPerEpoch: frames,
 		Dynamics:       dynOpts,
 		Channels:       channels,
+		Metrics:        reg,
+		Trace:          tracer,
 	})
 	if err != nil {
 		return err
@@ -255,6 +292,20 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 				fmt.Printf("  recovery   never reached 90%% of pre-event %.1f pkt/s\n", res.PreEventGoodputPps)
 			}
 		}
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("trace: %d events -> %s\n", tracer.Events(), traceFile)
+	}
+	if obsAddr != "" {
+		// Keep the exposition surface up for post-run scraping and
+		// profiling; Ctrl-C (or SIGTERM) exits.
+		fmt.Println("obs: run complete; serving until interrupted (Ctrl-C to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"scream"
+	"scream/internal/buildinfo"
 )
 
 func main() {
@@ -33,8 +34,13 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		packet   = flag.Bool("packet-level", false, "run protocols on the packet-level radio backend")
 		k        = flag.Int("k", 0, "SCREAM length in slots (0 = interference diameter)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 	if err := run(*topology, *rows, *cols, *step, *n, *side, *minTx, *maxTx, *txPower, *protos, *p, *seed, *packet, *k); err != nil {
 		fmt.Fprintln(os.Stderr, "screamsim:", err)
 		os.Exit(1)

@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"scream"
+	"scream/internal/buildinfo"
 )
 
 func main() {
@@ -20,8 +21,13 @@ func main() {
 		n        = flag.Int("n", 64, "uniform: node count")
 		side     = flag.Float64("side", 250, "uniform: region side (m)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 	if err := run(*topology, *rows, *cols, *step, *n, *side, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "topoinspect:", err)
 		os.Exit(1)

@@ -13,6 +13,7 @@ import (
 	"scream/internal/core"
 	"scream/internal/dynam"
 	"scream/internal/flow"
+	"scream/internal/obs"
 	"scream/internal/phys"
 	"scream/internal/traffic"
 )
@@ -94,6 +95,16 @@ type FlowOptions struct {
 	// mesh's RadioParams.NumRadios — and the distributed schedulers pay
 	// their control traffic on the designated control channel (channel 0).
 	Channels int
+	// Metrics, when non-nil, receives live counters from every layer the
+	// run touches (core protocol, flow driver, dynamics). When nil, the
+	// run falls back to the process-default registry installed by
+	// EnableRuntimeMetrics — still nil by default, costing nothing.
+	// Metrics are write-only; enabling them never changes a result.
+	Metrics *ObsRegistry
+	// Trace, when non-nil, receives structured JSONL events (run/epoch
+	// boundaries, protocol handshakes and slot seals, churn and repair),
+	// timestamped in simulated ticks.
+	Trace *ObsTracer
 }
 
 // MobilityKind selects the node mobility model of a dynamics run.
@@ -186,6 +197,14 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 	if tm == (Timing{}) {
 		tm = DefaultTiming()
 	}
+	// Effective observability sinks: an explicit per-run registry wins
+	// (test isolation); otherwise the process default installed by
+	// EnableRuntimeMetrics, which is nil unless a CLI opted in.
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.Default()
+	}
+	trace := opts.Trace
 	// The network view the run operates on: the mesh's own for static runs,
 	// an exclusively-owned clone when dynamics mutate it. Schedulers must be
 	// built over the same view the dynamics world mutates.
@@ -220,6 +239,7 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scream: %w", err)
 		}
+		world.SetObs(metrics, trace)
 		k := opts.K
 		if k == 0 {
 			k = net.InterferenceDiameter()
@@ -275,6 +295,8 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 			Variant: variant,
 			P:       opts.P,
 			Seed:    opts.Seed,
+			Metrics: metrics,
+			Trace:   trace,
 		}
 		if channels > 1 {
 			cfg.Channels = channels
@@ -301,6 +323,8 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 		IdleWait:       opts.IdleWait,
 		Dynamics:       world,
 		RepairCost:     repairCost,
+		Metrics:        metrics,
+		Trace:          trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scream: %w", err)

@@ -1,0 +1,49 @@
+// Package buildinfo derives a human-readable version string for the CLIs
+// from the build metadata the Go toolchain embeds — no linker flags, no
+// generated files. `go build` from a git checkout stamps the VCS revision
+// automatically; `go install module@version` stamps the module version.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns "scream <version> (<rev>[, modified]) <goversion>", with
+// the pieces that are unavailable in this build omitted.
+func Version() string {
+	var b strings.Builder
+	b.WriteString("scream")
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		b.WriteString(" (no build info)")
+		return b.String()
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		b.WriteString(" " + v)
+	} else {
+		b.WriteString(" devel")
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified == "true" {
+			rev += ", modified"
+		}
+		b.WriteString(" (" + rev + ")")
+	}
+	if info.GoVersion != "" {
+		b.WriteString(" " + info.GoVersion)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"scream/internal/obs"
+)
+
+// MeasuredBackend is the optional backend interface exposing what the
+// backend actually executed and billed, independently of the protocol
+// layer's own analytic accounting (Result.Screams, Result.Steps). Publishing
+// both lets tests and scrapes cross-check that the simulation charges
+// exactly what core.Timing says a SCREAM and a handshake slot cost:
+//
+//	elapsed_ticks == screams*K*ScreamSlot() + handshakes*HandshakeSlot()
+//
+// IdealBackend implements it.
+type MeasuredBackend interface {
+	// ScreamCount returns how many SCREAM primitives the backend executed.
+	ScreamCount() int
+	// HandshakeCount returns how many handshake slots the backend executed.
+	HandshakeCount() int
+	// K returns the SCREAM length in slots.
+	K() int
+}
+
+// backendSnapshot captures a MeasuredBackend's counters so a later delta
+// isolates one protocol run even when the backend is reused across epochs.
+type backendSnapshot struct {
+	ok         bool
+	screams    int
+	handshakes int
+	elapsed    int64
+}
+
+func snapshotBackend(b Backend) backendSnapshot {
+	mb, ok := b.(MeasuredBackend)
+	if !ok {
+		return backendSnapshot{}
+	}
+	return backendSnapshot{
+		ok:         true,
+		screams:    mb.ScreamCount(),
+		handshakes: mb.HandshakeCount(),
+		elapsed:    int64(b.Elapsed()),
+	}
+}
+
+// publishRun records one completed protocol run into cfg.Metrics (a no-op
+// when nil). Counters are split into the protocol layer's analytic view
+// (what Result accounts) and the backend's measured view (what was actually
+// executed and billed); both are exact int64 event counts, so tests assert
+// equality rather than tolerance. Registry lookups here are get-or-create on
+// a cold path — Run executes once per epoch, not per slot.
+func publishRun(cfg *Config, res *Result, before backendSnapshot) {
+	r := cfg.Metrics
+	if r == nil {
+		// Fall back to the process default installed by a CLI's
+		// observability opt-in (nil by default — publish is then skipped).
+		r = obs.Default()
+	}
+	if r == nil {
+		return
+	}
+	variant := `{variant="` + cfg.Variant.String() + `"}`
+	r.Counter("scream_core_runs_total"+variant, "completed protocol runs by variant").Inc()
+	r.Counter("scream_core_rounds_total", "protocol rounds (slots sealed) across runs").Add(int64(res.Rounds))
+	r.Counter("scream_core_steps_total", "greedy augmentation steps across runs").Add(int64(res.Steps))
+	r.Counter("scream_core_elections_total", "leader elections across runs").Add(int64(res.Elections))
+	r.Counter("scream_core_screams_total", "SCREAM primitives charged by the protocol layer (analytic)").Add(int64(res.Screams))
+	r.Counter("scream_core_exec_ticks_total", "simulated protocol execution time in des.Time ticks").Add(int64(res.ExecTime))
+
+	if before.ok {
+		mb := cfg.Backend.(MeasuredBackend)
+		r.Counter("scream_core_screams_measured_total", "SCREAM primitives the backend actually executed").
+			Add(int64(mb.ScreamCount() - before.screams))
+		r.Counter("scream_core_handshake_slots_measured_total", "handshake slots the backend actually executed").
+			Add(int64(mb.HandshakeCount() - before.handshakes))
+		r.Gauge("scream_core_scream_length_slots", "SCREAM length K in slots (last run)").Set(int64(mb.K()))
+	}
+}
+
+// traceEmit forwards to cfg.Trace (nil-safe); t is the backend's elapsed
+// simulated time in ticks at the moment of the event.
+func (p *protoRun) traceEmit(ev string, fields ...obs.Field) {
+	if p.cfg.Trace == nil {
+		return
+	}
+	base := []obs.Field{obs.I("t", int64(p.cfg.Backend.Elapsed())), obs.N("round", p.round)}
+	p.cfg.Trace.Emit(ev, append(base, fields...)...)
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"scream/internal/des"
+	"scream/internal/obs"
 	"scream/internal/phys"
 	"scream/internal/sched"
 )
@@ -96,6 +97,15 @@ type Config struct {
 	ASAPSeal bool
 	// Observer receives protocol events; zero value disables tracing.
 	Observer Observer
+	// Metrics, when non-nil, receives per-run counters (rounds, steps,
+	// elections, analytic and backend-measured SCREAM/handshake counts,
+	// execution ticks). Metrics are write-only: no protocol decision ever
+	// reads them, so enabling them cannot change any result.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured protocol events
+	// (controller_elected, handshake, slot_sealed) timestamped in simulated
+	// ticks. Like Metrics, tracing is write-only.
+	Trace *obs.Tracer
 	// NumChannels is the number of orthogonal data channels (0 or 1 runs
 	// the paper's single-channel protocol unchanged). With C > 1 each round
 	// seals a multi-channel slot built in C sequential channel phases;
@@ -262,10 +272,18 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	before := snapshotBackend(cfg.Backend)
+	var res *Result
 	if cfg.NumChannels > 1 {
-		return p.runMulti()
+		res, err = p.runMulti()
+	} else {
+		res, err = p.runSingle()
 	}
-	return p.runSingle()
+	if err != nil {
+		return nil, err
+	}
+	publishRun(&cfg, res, before)
+	return res, nil
 }
 
 // runSingle is the paper's single-channel protocol loop.
@@ -321,6 +339,7 @@ func (p *protoRun) runSingle() (*Result, error) {
 			if cfg.Observer.ControllerElected != nil {
 				cfg.Observer.ControllerElected(p.round, controller)
 			}
+			p.traceEmit("controller_elected", obs.N("node", controller))
 			setState(controller, Control)
 		}
 
@@ -377,6 +396,16 @@ func (p *protoRun) runSingle() (*Result, error) {
 			veto, err := screamConsensus(vars, "handshake veto")
 			if err != nil {
 				return nil, err
+			}
+			if cfg.Trace != nil {
+				okCount := 0
+				for _, ok := range outcome {
+					if ok {
+						okCount++
+					}
+				}
+				p.traceEmit("handshake",
+					obs.N("links", len(hsLinks)), obs.N("ok", okCount), obs.B("veto", veto))
 			}
 
 			// Actives join or are discarded.
@@ -438,6 +467,7 @@ func (p *protoRun) runSingle() (*Result, error) {
 		if cfg.Observer.SlotSealed != nil {
 			cfg.Observer.SlotSealed(p.round, slot)
 		}
+		p.traceEmit("slot_sealed", obs.N("links", len(slot)))
 
 		// Control-release SCREAM: the controller announces whether its
 		// demand is now satisfied.

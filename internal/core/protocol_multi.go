@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"scream/internal/obs"
 	"scream/internal/phys"
 )
 
@@ -82,6 +83,7 @@ func (p *protoRun) runMulti() (*Result, error) {
 			if cfg.Observer.ControllerElected != nil {
 				cfg.Observer.ControllerElected(p.round, controller)
 			}
+			p.traceEmit("controller_elected", obs.N("node", controller))
 			setState(controller, Control)
 		}
 
@@ -245,6 +247,7 @@ func (p *protoRun) runMulti() (*Result, error) {
 		if cfg.Observer.SlotSealed != nil {
 			cfg.Observer.SlotSealed(p.round, slot)
 		}
+		p.traceEmit("slot_sealed", obs.N("links", len(slot)))
 
 		// Control-release SCREAM: the controller announces whether its
 		// demand is now satisfied.

@@ -5,6 +5,7 @@ import (
 
 	"scream/internal/des"
 	"scream/internal/graph"
+	"scream/internal/obs"
 	"scream/internal/phys"
 	"scream/internal/route"
 	"scream/internal/topo"
@@ -28,6 +29,10 @@ type World struct {
 
 	timeline []Event
 	next     int
+
+	// Optional instrumentation, attached via SetObs.
+	obs   *worldObs
+	trace *obs.Tracer
 
 	// scratch
 	changed     []int
@@ -248,5 +253,6 @@ func (w *World) AdvanceTo(t des.Time) (*Change, error) {
 	w.links = forest.Links()
 	ch.Repair = stats
 	ch.Detached = forest.NumDetached()
+	w.publishChange(ch)
 	return ch, nil
 }

@@ -38,6 +38,7 @@ import (
 	"scream/internal/des"
 	"scream/internal/dynam"
 	"scream/internal/graph"
+	"scream/internal/obs"
 	"scream/internal/phys"
 	"scream/internal/route"
 	"scream/internal/sched"
@@ -134,6 +135,15 @@ type Config struct {
 	// by a static frame structure, which reacts to nothing). 0 means free
 	// repair.
 	RepairCost des.Time
+
+	// Metrics, when non-nil, receives live flow-level counters and gauges
+	// (offered/delivered/dropped packets, time split in ticks, backlog,
+	// delay histogram). Metrics are write-only: the simulation never reads
+	// them, so enabling them cannot change any result.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured run/epoch events timestamped
+	// in simulated ticks. Like Metrics, tracing is write-only.
+	Trace *obs.Tracer
 }
 
 // Result is the outcome of a dynamic traffic run.
@@ -345,11 +355,25 @@ func Run(cfg Config) (*Result, error) {
 	delay := stats.NewSample(1024)
 	backlog, peak := 0, 0
 
+	// Per-run registry wins (test isolation); otherwise the process default
+	// installed by the CLI's observability opt-in, which is nil by default.
+	mreg := cfg.Metrics
+	if mreg == nil {
+		mreg = obs.Default()
+	}
+	m := newFlowObs(mreg)
+	if cfg.Trace != nil {
+		cfg.Trace.Emit("run_start",
+			obs.I("t", 0), obs.N("nodes", n), obs.N("links", len(cfg.Links)),
+			obs.S("sched", cfg.Scheduler.Name), obs.I("horizon", int64(cfg.Horizon)))
+	}
+
 	// enqueue admits p to node u's queue, honoring the cap. It reports
 	// whether the packet was admitted.
 	enqueue := func(u int, p packet) bool {
 		if cfg.MaxQueue > 0 && queues[u].len() >= cfg.MaxQueue {
 			res.Dropped++
+			m.dropped.Inc()
 			return false
 		}
 		queues[u].push(p)
@@ -386,6 +410,7 @@ func Run(cfg Config) (*Result, error) {
 				// A dead router generates nothing; the process keeps ticking
 				// so traffic resumes when the node recovers.
 				res.Offered++
+				m.offered.Inc()
 				enqueue(u, packet{created: eng.Now(), enqueued: eng.Now()})
 			}
 			schedule()
@@ -431,6 +456,7 @@ func Run(cfg Config) (*Result, error) {
 		for _, u := range chg.Failed {
 			lost := queues[u].drop()
 			res.LostOnFailure += lost
+			m.lostOnFailure.Add(int64(lost))
 			backlog -= lost
 		}
 		if !firstEventSeen {
@@ -516,6 +542,7 @@ func Run(cfg Config) (*Result, error) {
 						}
 						eng.RunUntil(rEnd)
 						res.RepairTime += eng.Now() - t0
+						m.repairTicks.Add(int64(eng.Now() - t0))
 					}
 				}
 			}
@@ -532,6 +559,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			eng.RunUntil(now + step)
 			res.IdleTime += eng.Now() - now
+			m.idleTicks.Add(int64(eng.Now() - now))
 			continue
 		}
 
@@ -543,6 +571,7 @@ func Run(cfg Config) (*Result, error) {
 		var s *sched.Schedule
 		if pendingRebind {
 			res.ControlDownEpochs++
+			m.ctrlDownEp.Inc()
 			s = lastSched
 			if s == nil || s.Length() == 0 {
 				// Control went down before any schedule existed (or the last
@@ -553,6 +582,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 				eng.RunUntil(now + step)
 				res.IdleTime += eng.Now() - now
+				m.idleTicks.Add(int64(eng.Now() - now))
 				continue
 			}
 		} else {
@@ -582,6 +612,19 @@ func Run(cfg Config) (*Result, error) {
 			}
 			eng.RunUntil(cEnd)
 			res.ControlTime += eng.Now() - now
+			m.epochs.Inc()
+			m.controlTicks.Add(int64(eng.Now() - now))
+			m.schedSlots.Set(int64(s.Length()))
+			if cfg.Trace != nil {
+				demand := 0
+				for _, d := range demands {
+					demand += d
+				}
+				cfg.Trace.Emit("epoch",
+					obs.I("t", int64(eng.Now())), obs.N("epoch", res.Epochs-1),
+					obs.N("backlog", backlog), obs.N("demand", demand),
+					obs.N("slots", s.Length()), obs.I("ctrl", int64(eng.Now()-now)))
+			}
 		}
 
 		// Data phase: drain queues slot by slot, replaying the schedule
@@ -605,6 +648,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 				eng.RunUntil(t0 + slotDur)
 				res.DataTime += slotDur
+				m.dataTicks.Add(int64(slotDur))
 				for _, l := range s.Slot(i) {
 					if dyn != nil {
 						// Dead endpoints cannot transmit or ACK, and a link
@@ -625,8 +669,11 @@ func Run(cfg Config) (*Result, error) {
 					p := q.pop()
 					backlog--
 					res.Transmissions++
+					m.transmissions.Inc()
 					if forest.IsGateway(l.To) {
 						res.Delivered++
+						m.delivered.Inc()
+						m.delay.Observe((eng.Now() - p.created).Seconds())
 						delay.Add((eng.Now() - p.created).Seconds())
 					} else {
 						p.enqueued = eng.Now()
@@ -636,6 +683,8 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		checkRecovery()
+		m.backlog.Set(int64(backlog))
+		m.backlogPeak.Max(int64(peak))
 
 		if eng.Now() == now {
 			if dyn != nil {
@@ -649,12 +698,14 @@ func Run(cfg Config) (*Result, error) {
 					}
 					eng.RunUntil(now + step)
 					res.IdleTime += eng.Now() - now
+					m.idleTicks.Add(int64(eng.Now() - now))
 					continue
 				}
 			}
 			// Zero control cost and no slot fits before the horizon: run
 			// out the clock instead of re-scheduling forever.
 			res.IdleTime += cfg.Horizon - now
+			m.idleTicks.Add(int64(cfg.Horizon - now))
 			eng.RunUntil(cfg.Horizon)
 		}
 	}
@@ -662,6 +713,14 @@ func Run(cfg Config) (*Result, error) {
 	res.Elapsed = eng.Now()
 	res.FinalBacklog = backlog
 	res.PeakBacklog = peak
+	m.backlog.Set(int64(backlog))
+	m.backlogPeak.Max(int64(peak))
+	if cfg.Trace != nil {
+		cfg.Trace.Emit("run_end",
+			obs.I("t", int64(eng.Now())), obs.N("offered", res.Offered),
+			obs.N("delivered", res.Delivered), obs.N("dropped", res.Dropped),
+			obs.N("backlog", backlog), obs.N("epochs", res.Epochs))
+	}
 	res.PeakBacklogDuringOutage = peakOutage
 	if delay.N() > 0 {
 		res.DelayMean = des.FromSeconds(delay.Mean())

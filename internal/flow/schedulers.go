@@ -8,6 +8,7 @@ import (
 	"scream/internal/core"
 	"scream/internal/des"
 	"scream/internal/graph"
+	"scream/internal/obs"
 	"scream/internal/phys"
 	"scream/internal/route"
 	"scream/internal/sched"
@@ -251,6 +252,11 @@ type ProtocolSchedulerConfig struct {
 	// Radios is the per-node radio budget (0 = 1). See core.Config.
 	Channels int
 	Radios   int
+	// Metrics and Trace, when non-nil, are forwarded into every epoch's
+	// core.Config — each protocol run then publishes its counters and
+	// emits its trace events. See core.Config.Metrics/Trace.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // NewProtocolScheduler returns FDD or PDD as an epoch scheduler. Every epoch
@@ -307,6 +313,8 @@ func NewProtocolScheduler(cfg ProtocolSchedulerConfig) (Scheduler, error) {
 				Backend:     b,
 				NumChannels: cfg.Channels,
 				NumRadios:   cfg.Radios,
+				Metrics:     cfg.Metrics,
+				Trace:       cfg.Trace,
 			}
 			if cfg.Variant == core.PDD {
 				run.Probability = cfg.P

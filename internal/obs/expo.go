@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// family returns the metric family name: the full name with any {label}
+// suffix stripped.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labels returns the {label} suffix of name (empty when unlabeled),
+// including the braces.
+func labels(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[i:]
+	}
+	return ""
+}
+
+// histName splices extra labels into a histogram series name: base may
+// already carry labels, and the bucket series needs `le` merged into them.
+func histSeries(base, suffix, extra string) string {
+	fam, lb := family(base), labels(base)
+	name := fam + suffix
+	switch {
+	case lb == "" && extra == "":
+		return name
+	case lb == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + lb
+	default:
+		return name + lb[:len(lb)-1] + "," + extra + "}"
+	}
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name, with # HELP and
+// # TYPE headers emitted once per family. Counter and gauge values are
+// int64; histograms expose the conventional _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	seenFamily := ""
+	for _, m := range r.snapshot() {
+		fam := family(m.name)
+		if fam != seenFamily {
+			seenFamily = fam
+			if m.help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(fam)
+				bw.WriteByte(' ')
+				bw.WriteString(m.help)
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(fam)
+			bw.WriteByte(' ')
+			bw.WriteString(m.kind.String())
+			bw.WriteByte('\n')
+		}
+		switch m.kind {
+		case kindCounter:
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.c.Value(), 10))
+			bw.WriteByte('\n')
+		case kindGauge:
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.g.Value(), 10))
+			bw.WriteByte('\n')
+		case kindHistogram:
+			upper, cum := m.h.Buckets()
+			for i, ub := range upper {
+				bw.WriteString(histSeries(m.name, "_bucket", `le="`+formatFloat(ub)+`"`))
+				bw.WriteByte(' ')
+				bw.WriteString(strconv.FormatInt(cum[i], 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(histSeries(m.name, "_sum", ""))
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(m.h.Sum()))
+			bw.WriteByte('\n')
+			bw.WriteString(histSeries(m.name, "_count", ""))
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.h.Count(), 10))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	GET /metrics       Prometheus text-format exposition
+//	GET /debug/pprof/  the standard net/http/pprof profile surface
+//
+// pprof is mounted explicitly on this mux (not the http.DefaultServeMux
+// side-effect registration), so enabling observability never leaks profile
+// endpoints onto servers the process did not ask for.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are already gone; nothing useful to do but drop the
+			// connection, which WritePrometheus's error already caused.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves Handler(r) on
+// it in a background goroutine. It returns the server (Close/Shutdown to
+// stop) and the bound address — useful when addr requested port 0.
+func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(r),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		// ErrServerClosed after Close/Shutdown is the expected exit; any
+		// other error means the exposition surface died, which the scraper
+		// will notice — there is no simulation-side consumer to signal.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// TraceVersion is the trace schema version stamped into every event as the
+// leading "v" field. Bump it when an event's fields change meaning; adding
+// new events or trailing fields is backward-compatible within a version.
+//
+// Schema v1: one JSON object per line, fields in fixed order:
+//
+//	{"v":1,"ev":"<event>","t":<ticks>, <event-specific fields...>}
+//
+// "t" is simulated time in des.Time nanosecond ticks (int64) — never wall
+// clock, which is what makes traces byte-identical across runs of the same
+// seed. The event catalogue (emitters in core, flow and dynam) is documented
+// in DESIGN.md under "Observability".
+const TraceVersion = 1
+
+// Field is one key/value pair of a trace event. Values are typed explicitly
+// (no reflection on the encode path) and encode as JSON numbers, strings or
+// booleans.
+type Field struct {
+	key  string
+	kind uint8 // 'i' int64, 'f' float64, 's' string, 'b' bool
+	i    int64
+	f    float64
+	s    string
+}
+
+// I returns an int64 field.
+func I(key string, v int64) Field { return Field{key: key, kind: 'i', i: v} }
+
+// N returns an int field.
+func N(key string, v int) Field { return Field{key: key, kind: 'i', i: int64(v)} }
+
+// F returns a float64 field (encoded with shortest round-trip formatting,
+// deterministic for a given value).
+func F(key string, v float64) Field { return Field{key: key, kind: 'f', f: v} }
+
+// S returns a string field.
+func S(key string, v string) Field { return Field{key: key, kind: 's', s: v} }
+
+// B returns a bool field.
+func B(key string, v bool) Field { return Field{key: key, kind: 'b', i: b2i(v)} }
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Tracer writes structured events as JSON Lines. It is safe for concurrent
+// emitters (one line per event, atomically appended under a mutex), though
+// deterministic byte-identical traces additionally require a deterministic
+// emission order — single-worker runs, which is what the golden-file test
+// pins. A nil *Tracer is a no-op, but callers on hot paths should guard
+// `if tr != nil` themselves so the variadic fields are never materialized
+// on the disabled path.
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	buf    []byte // per-event scratch, reused under mu
+	events int64
+	err    error
+}
+
+// NewTracer returns a tracer writing to w. Call Flush (or Close on the
+// underlying writer after Flush) when done.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w)}
+}
+
+// Emit appends one event line: {"v":1,"ev":ev,fields...}. Field keys must be
+// plain identifier-like strings (they are not escaped); values are properly
+// JSON-encoded. The first write error is retained and reported by Flush.
+func (t *Tracer) Emit(ev string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	buf := t.buf[:0]
+	buf = append(buf, `{"v":`...)
+	buf = strconv.AppendInt(buf, TraceVersion, 10)
+	buf = append(buf, `,"ev":`...)
+	buf = strconv.AppendQuote(buf, ev)
+	for _, f := range fields {
+		buf = append(buf, ',', '"')
+		buf = append(buf, f.key...)
+		buf = append(buf, '"', ':')
+		switch f.kind {
+		case 'i':
+			buf = strconv.AppendInt(buf, f.i, 10)
+		case 'f':
+			buf = strconv.AppendFloat(buf, f.f, 'g', -1, 64)
+		case 's':
+			buf = strconv.AppendQuote(buf, f.s)
+		case 'b':
+			if f.i != 0 {
+				buf = append(buf, "true"...)
+			} else {
+				buf = append(buf, "false"...)
+			}
+		}
+	}
+	buf = append(buf, '}', '\n')
+	t.buf = buf
+	if _, err := t.w.Write(buf); err != nil {
+		t.err = err
+		return
+	}
+	t.events++
+}
+
+// Events returns the number of events emitted so far.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Flush drains the buffer and returns the first error seen by any Emit or
+// flush.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

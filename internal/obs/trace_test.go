@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerSchemaV1(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb)
+	tr.Emit("epoch", I("t", 12345), N("epoch", 3), F("goodput", 1.5), S("sched", `say "hi"`), B("ok", true))
+	tr.Emit("end", I("t", 99))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 2 {
+		t.Fatalf("events = %d, want 2", tr.Events())
+	}
+
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	want := `{"v":1,"ev":"epoch","t":12345,"epoch":3,"goodput":1.5,"sched":"say \"hi\"","ok":true}`
+	if lines[0] != want {
+		t.Fatalf("line 0:\n got %s\nwant %s", lines[0], want)
+	}
+	// Every line must be valid standalone JSON carrying the schema version.
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", ln, err)
+		}
+		if v, ok := m["v"].(float64); !ok || int(v) != TraceVersion {
+			t.Fatalf("line %q missing schema version %d", ln, TraceVersion)
+		}
+		if _, ok := m["ev"].(string); !ok {
+			t.Fatalf("line %q missing event name", ln)
+		}
+	}
+}
+
+func TestTracerDeterministicBytes(t *testing.T) {
+	emit := func() string {
+		var sb strings.Builder
+		tr := NewTracer(&sb)
+		for i := 0; i < 100; i++ {
+			tr.Emit("tick", I("t", int64(i)*17), F("x", float64(i)/3), B("even", i%2 == 0))
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if emit() != emit() {
+		t.Fatal("identical emission sequences must produce identical bytes")
+	}
+}
+
+// TestTracerConcurrentEmit exercises the mutex path under -race: lines from
+// concurrent emitters may interleave in any order but must never tear.
+func TestTracerConcurrentEmit(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	tr := NewTracer(w)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit("e", N("g", g), N("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("torn line %q: %v", ln, err)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

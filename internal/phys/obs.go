@@ -1,0 +1,36 @@
+package phys
+
+import (
+	"sync/atomic"
+
+	"scream/internal/obs"
+)
+
+// Process-wide slot-engine instrumentation. The SlotState hot path (CanAdd
+// runs millions of times per schedule sweep) cannot afford per-call registry
+// lookups or per-run plumbing through every constructor, so the handles live
+// in one atomically-swapped bundle: disabled (the default) costs a single
+// pointer load and branch per operation — no allocation, no atomics — and
+// metrics never influence any scheduling decision.
+type slotObs struct {
+	canAdd    *obs.Counter
+	adds      *obs.Counter
+	rollbacks *obs.Counter
+}
+
+var slotMetrics atomic.Pointer[slotObs]
+
+// SetObs wires the slot-engine counters into r (nil detaches them). Intended
+// to be called once at process start by a CLI enabling observability; it is
+// safe to call concurrently with running schedulers.
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		slotMetrics.Store(nil)
+		return
+	}
+	slotMetrics.Store(&slotObs{
+		canAdd:    r.Counter("scream_phys_canadd_total", "SlotState.CanAdd admission probes (single- and multi-channel)"),
+		adds:      r.Counter("scream_phys_slot_adds_total", "links admitted into slot states"),
+		rollbacks: r.Counter("scream_phys_rollbacks_total", "SlotState.Rollback tentative-batch undos"),
+	})
+}

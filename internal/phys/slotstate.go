@@ -111,6 +111,9 @@ func (s *SlotState) Links() []Link {
 // survive l's added data and ACK interference. For a feasible current slot
 // this is exactly FeasibleSet(Links() + l). O(k).
 func (s *SlotState) CanAdd(l Link) bool {
+	if m := slotMetrics.Load(); m != nil {
+		m.canAdd.Inc()
+	}
 	if l.From == l.To {
 		return false
 	}
@@ -150,6 +153,9 @@ func (s *SlotState) CanAdd(l Link) bool {
 // conflict or fail their handshake (Outcomes reports which), and greedy
 // callers are expected to gate on CanAdd themselves.
 func (s *SlotState) Add(l Link) {
+	if m := slotMetrics.Load(); m != nil {
+		m.adds.Inc()
+	}
 	rx, n := s.rx, s.n
 	dataInterf, ackInterf := 0.0, 0.0
 	for i, m := range s.links {
@@ -217,6 +223,9 @@ func (s *SlotState) Mark() {
 func (s *SlotState) Rollback() {
 	if s.marked < 0 || s.marked > len(s.links) {
 		panic("phys: SlotState.Rollback without a valid Mark")
+	}
+	if m := slotMetrics.Load(); m != nil {
+		m.rollbacks.Inc()
 	}
 	if s.busy != nil {
 		for _, l := range s.links[s.marked:] {

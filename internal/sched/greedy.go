@@ -148,6 +148,7 @@ func greedyPhysicalOrdered(ch *phys.Channel, links []phys.Link, demands []int, o
 	for i, st := range slots {
 		s.slots[i] = st.Links()
 	}
+	recordBuild(s.slots)
 	return s, nil
 }
 
@@ -213,6 +214,7 @@ func GreedyPhysicalMulti(cs *phys.ChannelSet, numRadios int, links []phys.Link, 
 		}
 		s.AppendSlotAssigned(slotLinks, slotChans)
 	}
+	recordBuild(s.slots)
 	return s, nil
 }
 

@@ -1,0 +1,198 @@
+package scream
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// obsFlowOptions is the pinned scenario shared by the conservation and
+// golden-trace tests: 4x4 grid, FDD (so the analytic/measured protocol
+// cross-check exercises real SCREAMs and handshakes), bounded queues so
+// drops occur, CBR arrivals for an arrival count independent of RNG draws.
+func obsFlowOptions(t *testing.T, m *Mesh) FlowOptions {
+	t.Helper()
+	frame, err := m.FlowFrameTime(Timing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 1.5 / frame.Seconds() // overloaded: exercises the queue cap
+	isGW := make(map[int]bool)
+	for _, g := range m.Gateways() {
+		isGW[g] = true
+	}
+	arrivals := make([]Arrival, m.NumNodes())
+	for u := range arrivals {
+		if isGW[u] {
+			continue
+		}
+		a, err := NewCBR(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals[u] = a
+	}
+	return FlowOptions{
+		Scheduler:      FlowFDD,
+		Arrivals:       arrivals,
+		Horizon:        300 * Millisecond,
+		Seed:           7,
+		MaxQueue:       8,
+		MaxService:     8,
+		FramesPerEpoch: 8,
+	}
+}
+
+func counter(t *testing.T, r *ObsRegistry, name string) int64 {
+	t.Helper()
+	v, ok := r.CounterValue(name)
+	if !ok {
+		t.Fatalf("counter %q not registered", name)
+	}
+	return v
+}
+
+// TestObsConservation pins the packet-conservation identity against a live
+// metrics snapshot: every packet an arrival process generated is either
+// delivered, dropped at a full queue, or still queued at the horizon. All
+// quantities are exact int64 event counts, so the assertions are equalities,
+// not tolerances — any instrumentation drift (a counter bumped twice, a path
+// not counted) breaks the identity immediately.
+func TestObsConservation(t *testing.T) {
+	m := flowTestMesh(t)
+	reg := NewObsRegistry()
+	opts := obsFlowOptions(t, m)
+	opts.Metrics = reg
+	res, err := RunFlow(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offered := counter(t, reg, "scream_flow_offered_total")
+	delivered := counter(t, reg, "scream_flow_delivered_total")
+	dropped := counter(t, reg, `scream_flow_dropped_total{reason="queue_full"}`)
+	if offered == 0 || delivered == 0 || dropped == 0 {
+		t.Fatalf("scenario must exercise all flows: offered=%d delivered=%d dropped=%d", offered, delivered, dropped)
+	}
+
+	// Metrics must agree exactly with the run's own accounting...
+	if offered != int64(res.Offered) || delivered != int64(res.Delivered) || dropped != int64(res.Dropped) {
+		t.Fatalf("metrics diverge from Result: offered %d/%d delivered %d/%d dropped %d/%d",
+			offered, res.Offered, delivered, res.Delivered, dropped, res.Dropped)
+	}
+	// ...and packets must be conserved.
+	if offered != delivered+dropped+int64(res.FinalBacklog) {
+		t.Fatalf("conservation violated: offered %d != delivered %d + dropped %d + queued %d",
+			offered, delivered, dropped, res.FinalBacklog)
+	}
+
+	// Backlog gauge was last sampled at the final epoch boundary.
+	if v, ok := reg.GaugeValue("scream_flow_backlog_packets"); !ok || v != int64(res.FinalBacklog) {
+		t.Fatalf("backlog gauge %d (ok=%v), want %d", v, ok, res.FinalBacklog)
+	}
+}
+
+// TestObsTimingCrossCheck pins the measured-vs-analytic control-cost
+// identity of the distributed protocol: the backend's elapsed simulated
+// time must equal exactly what core.Timing charges for the SCREAMs and
+// handshake slots it executed, and the backend-measured SCREAM count must
+// equal the protocol layer's analytic accounting. This is the end-to-end
+// check that the simulator bills control overhead at precisely the paper's
+// cost model — measured in ticks, asserted with ==.
+func TestObsTimingCrossCheck(t *testing.T) {
+	m := flowTestMesh(t)
+	reg := NewObsRegistry()
+	opts := obsFlowOptions(t, m)
+	opts.Metrics = reg
+	if _, err := RunFlow(m, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	screamsMeasured := counter(t, reg, "scream_core_screams_measured_total")
+	screamsAnalytic := counter(t, reg, "scream_core_screams_total")
+	handshakes := counter(t, reg, "scream_core_handshake_slots_measured_total")
+	execTicks := counter(t, reg, "scream_core_exec_ticks_total")
+	k, ok := reg.GaugeValue("scream_core_scream_length_slots")
+	if !ok || k <= 0 {
+		t.Fatalf("SCREAM length gauge missing or non-positive: %d (ok=%v)", k, ok)
+	}
+	if screamsMeasured == 0 || handshakes == 0 {
+		t.Fatalf("scenario ran no protocol primitives: screams=%d handshakes=%d", screamsMeasured, handshakes)
+	}
+	if screamsMeasured != screamsAnalytic {
+		t.Fatalf("backend executed %d SCREAMs, protocol layer charged %d", screamsMeasured, screamsAnalytic)
+	}
+
+	tm := DefaultTiming()
+	want := screamsMeasured*k*int64(tm.ScreamSlot()) + handshakes*int64(tm.HandshakeSlot())
+	if execTicks != want {
+		t.Fatalf("exec ticks %d != %d SCREAMs x K=%d x %d + %d handshakes x %d = %d",
+			execTicks, screamsMeasured, k, int64(tm.ScreamSlot()), handshakes, int64(tm.HandshakeSlot()), want)
+	}
+}
+
+// TestObsDisabledIdenticalResults is the zero-interference guarantee: the
+// same scenario with and without a registry attached must produce an
+// identical Result — metrics are write-only and can never feed back.
+func TestObsDisabledIdenticalResults(t *testing.T) {
+	m := flowTestMesh(t)
+	base, err := RunFlow(m, obsFlowOptions(t, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := obsFlowOptions(t, m)
+	opts.Metrics = NewObsRegistry()
+	var buf bytes.Buffer
+	opts.Trace = NewObsTracer(&buf)
+	instrumented, err := RunFlow(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *base != *instrumented {
+		t.Fatalf("observability changed the result:\nbase:         %+v\ninstrumented: %+v", *base, *instrumented)
+	}
+}
+
+// TestObsTraceGolden pins the JSONL trace of the pinned scenario byte-for-
+// byte: same seed, single-threaded driver, simulated timestamps — the trace
+// must be fully deterministic, and the golden file documents the schema in
+// the repository. Regenerate with: go test -run TestObsTraceGolden -update
+func TestObsTraceGolden(t *testing.T) {
+	m := flowTestMesh(t)
+	emit := func() []byte {
+		var buf bytes.Buffer
+		opts := obsFlowOptions(t, m)
+		opts.Horizon = 60 * Millisecond // a few epochs; keeps the golden file small
+		opts.Trace = NewObsTracer(&buf)
+		if _, err := RunFlow(m, opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := opts.Trace.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	got := emit()
+	if again := emit(); !bytes.Equal(got, again) {
+		t.Fatal("identical runs produced different traces")
+	}
+
+	golden := filepath.Join("testdata", "flow_trace_v1.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace diverges from %s (%d vs %d bytes); run with -update after intended schema changes",
+			golden, len(got), len(want))
+	}
+}
