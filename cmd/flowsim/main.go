@@ -23,6 +23,11 @@
 // interfaces per node (every scheduler packs slots across the channel set;
 // distributed control stays on channel 0).
 //
+// A whole experiment can also be described as one JSON document (see
+// scream.ScenarioSpec) and run with -scenario file.json — the same documents
+// the screamd daemon accepts on /api/v1/run; flag and scenario runs with the
+// same parameters produce identical results.
+//
 // Examples:
 //
 //	flowsim -rows 8 -cols 8 -step 36 -tx 4 -scheduler fdd -arrival poisson -load 0.8 -horizon 5
@@ -30,18 +35,32 @@
 //	flowsim -scheduler pdd -mobility waypoint -speed 10 -horizon 5
 //	flowsim -scheduler maxweight -arrival zipf -load 2 -horizon 5
 //	flowsim -scheduler greedy -channels 4 -radios 2 -load 2.5 -horizon 5
+//	flowsim -scenario testdata/scenario_grid.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"scream"
 	"scream/internal/buildinfo"
 )
+
+// schedulerNames enumerates the public scheduler registry for the -scheduler
+// usage string: a scheduler added to the registry shows up here (and is
+// accepted) automatically.
+func schedulerNames() string {
+	var names []string
+	for _, s := range scream.Schedulers() {
+		names = append(names, s.Name)
+	}
+	return strings.Join(names, ", ")
+}
 
 // dynFlags collects the topology-dynamics command line.
 type dynFlags struct {
@@ -60,7 +79,8 @@ func main() {
 		cols      = flag.Int("cols", 8, "grid cols")
 		step      = flag.Float64("step", 36, "grid step (m)")
 		tx        = flag.Float64("tx", 4, "TX power in dBm (0 = derive from step)")
-		schedName = flag.String("scheduler", "greedy", "epoch scheduler: greedy, maxweight, fanzhang, fdd, pdd, tdma")
+		schedName = flag.String("scheduler", "greedy", "epoch scheduler: "+schedulerNames())
+		scenario  = flag.String("scenario", "", "run a JSON scenario file (scream.ScenarioSpec); topology, traffic, scheduler and dynamics flags are ignored")
 		p         = flag.Float64("p", 0.8, "PDD activation probability")
 		arrival   = flag.String("arrival", "poisson", "arrival process: cbr, poisson, bursty, zipf")
 		load      = flag.Float64("load", 0.8, "offered load as a fraction of static capacity")
@@ -88,18 +108,65 @@ func main() {
 		fmt.Println(buildinfo.Version())
 		return
 	}
-	if err := run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *channels, *radios, *seed, *obsAddr, *traceFile, dyn); err != nil {
+	var err error
+	if *scenario != "" {
+		var spec scream.ScenarioSpec
+		if spec, err = scream.LoadScenario(*scenario); err == nil {
+			err = execute(spec, *obsAddr, *traceFile)
+		}
+	} else {
+		err = run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *channels, *radios, *seed, *obsAddr, *traceFile, dyn)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowsim:", err)
 		os.Exit(1)
 	}
 }
 
+// run assembles a ScenarioSpec from the command line — the flag surface is a
+// flat view of the same document -scenario loads whole.
 func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue, channels, radios int, seed int64, obsAddr, traceFile string, dyn dynFlags) error {
 	if channels < 1 {
 		return fmt.Errorf("need at least 1 channel, got %d", channels)
 	}
 	if radios < 1 {
 		return fmt.Errorf("need at least 1 radio per node, got %d", radios)
+	}
+	spec := scream.ScenarioSpec{
+		Topology:       scream.TopologySpec{Kind: "grid", Rows: rows, Cols: cols, StepMeters: step, TxPowerDBm: tx},
+		Traffic:        scream.TrafficSpec{Kind: arrival, Load: load},
+		Scheduler:      schedName,
+		P:              p,
+		HorizonSec:     horizon,
+		Seed:           seed,
+		FramesPerEpoch: frames,
+		MaxService:     quota,
+		MaxQueue:       maxQueue,
+		Channels:       channels,
+	}
+	if radios > 1 {
+		spec.Topology.Radio = &scream.RadioSpec{NumRadios: radios}
+	}
+	if dyn.failRate != 0 || dyn.mobility != "none" {
+		spec.Dynamics = &scream.DynamicsSpec{
+			FailRate:        dyn.failRate,
+			MeanDowntimeSec: dyn.downtime,
+			FailGateways:    dyn.failGW,
+			Mobility:        dyn.mobility,
+			SpeedMps:        dyn.speed,
+			PauseSec:        dyn.pause,
+			MoveIntervalSec: dyn.moveInt,
+		}
+	}
+	return execute(spec, obsAddr, traceFile)
+}
+
+// execute runs one scenario and reports it — the shared tail of the flag and
+// -scenario paths. The simulation itself is exactly scream.RunWith, the same
+// entrypoint the screamd daemon serves.
+func execute(spec scream.ScenarioSpec, obsAddr, traceFile string) error {
+	if err := spec.Validate(); err != nil {
+		return err
 	}
 
 	// Observability opt-ins. Metrics must be wired before the mesh and
@@ -126,149 +193,52 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 		tracer = scream.NewObsTracer(f)
 		defer tracer.Flush()
 	}
-	radio := scream.DefaultRadioParams()
-	radio.NumRadios = radios
-	mesh, err := scream.NewGridMesh(scream.GridMeshConfig{
-		Rows: rows, Cols: cols, StepMeters: step, TxPowerDBm: tx, Seed: seed,
-		Radio: radio,
-	})
+
+	mesh, err := spec.Mesh()
 	if err != nil {
 		return err
 	}
-
-	var scheduler scream.FlowScheduler
-	switch schedName {
-	case "greedy":
-		scheduler = scream.FlowGreedy
-	case "maxweight":
-		scheduler = scream.FlowMaxWeight
-	case "fanzhang":
-		scheduler = scream.FlowFanZhang
-	case "fdd":
-		scheduler = scream.FlowFDD
-	case "pdd":
-		scheduler = scream.FlowPDD
-	case "tdma":
-		scheduler = scream.FlowTDMA
-	default:
-		return fmt.Errorf("unknown scheduler %q", schedName)
-	}
-
-	tm := scream.DefaultTiming()
-	frame, err := mesh.FlowFrameTime(tm)
+	frame, err := mesh.FlowFrameTime(scream.DefaultTiming())
 	if err != nil {
 		return err
 	}
-	rate := load / frame.Seconds()
-
-	n := mesh.NumNodes()
-	isGW := make(map[int]bool)
-	for _, g := range mesh.Gateways() {
-		isGW[g] = true
-	}
-	hotspot := make([]float64, n)
-	for i := range hotspot {
-		hotspot[i] = 1
-	}
-	if arrival == "zipf" {
-		// Draw multipliers for the source nodes only: normalizing over all
-		// n and then skipping gateways would silently shed whatever Zipf
-		// mass landed on them, offering less than -load promises.
-		sources := n - len(mesh.Gateways())
-		rates, err := scream.HotspotRates(sources, 1.5, 1, 32, seed)
-		if err != nil {
-			return err
-		}
-		next := 0
-		for u := 0; u < n; u++ {
-			if isGW[u] {
-				hotspot[u] = 0
-				continue
-			}
-			hotspot[u] = rates[next]
-			next++
-		}
-	}
-	arrivals := make([]scream.Arrival, n)
-	for u := 0; u < n; u++ {
-		if isGW[u] {
-			continue
-		}
-		r := rate * hotspot[u]
-		if r <= 0 {
-			continue
-		}
-		var a scream.Arrival
-		switch arrival {
-		case "cbr":
-			a, err = scream.NewCBR(r)
-		case "poisson", "zipf":
-			a, err = scream.NewPoisson(r)
-		case "bursty":
-			// 4x peak rate during ON, 1:3 duty cycle: same mean rate.
-			a, err = scream.NewBursty(4*r, 50*scream.Millisecond, 150*scream.Millisecond)
-		default:
-			return fmt.Errorf("unknown arrival process %q", arrival)
-		}
-		if err != nil {
-			return err
-		}
-		arrivals[u] = a
+	rate := spec.Traffic.RatePps
+	if spec.Traffic.Load > 0 {
+		rate = spec.Traffic.Load / frame.Seconds()
 	}
 
-	var dynOpts *scream.DynamicsOptions
-	if dyn.failRate != 0 || dyn.mobility != "none" {
-		dynOpts = &scream.DynamicsOptions{
-			FailRate:     dyn.failRate,
-			MeanDowntime: scream.SimTime(dyn.downtime * float64(scream.Second)),
-			FailGateways: dyn.failGW,
-			SpeedMps:     dyn.speed,
-			Pause:        scream.SimTime(dyn.pause * float64(scream.Second)),
-			MoveInterval: scream.SimTime(dyn.moveInt * float64(scream.Second)),
-		}
-		switch dyn.mobility {
-		case "none":
-		case "waypoint":
-			dynOpts.Mobility = scream.MobilityWaypoint
-		case "drift":
-			dynOpts.Mobility = scream.MobilityDrift
-		default:
-			return fmt.Errorf("unknown mobility model %q", dyn.mobility)
-		}
-	}
-
-	fmt.Printf("mesh: %d nodes, %d links, gateways %v\n", n, len(mesh.Links), mesh.Gateways())
+	fmt.Printf("mesh: %d nodes, %d links, gateways %v\n", mesh.NumNodes(), len(mesh.Links), mesh.Gateways())
 	fmt.Printf("      static capacity frame %.4fs -> per-node rate %.1f pkt/s at load %.2fx\n",
-		frame.Seconds(), rate, load)
-	if channels > 1 {
-		fmt.Printf("      channels: %d orthogonal (control on channel 0), %d radios per node\n", channels, radios)
+		frame.Seconds(), rate, spec.Traffic.Load)
+	if spec.Channels > 1 {
+		fmt.Printf("      channels: %d orthogonal (control on channel 0), %d radios per node\n",
+			spec.Channels, mesh.NumRadios())
 	}
-	if dynOpts != nil {
+	if d := spec.Dynamics; d != nil {
+		mob := d.Mobility
+		if mob == "" {
+			mob = "none"
+		}
 		fmt.Printf("      dynamics: failrate %.3g/node/s, mean downtime %.3gs, mobility %s (%.3g m/s)\n",
-			dyn.failRate, dyn.downtime, dyn.mobility, dyn.speed)
+			d.FailRate, d.MeanDowntimeSec, mob, d.SpeedMps)
 	}
 	fmt.Println()
 
-	res, err := scream.RunFlow(mesh, scream.FlowOptions{
-		Scheduler:      scheduler,
-		P:              p,
-		Arrivals:       arrivals,
-		Horizon:        scream.SimTime(horizon * float64(scream.Second)),
-		Seed:           seed,
-		MaxQueue:       maxQueue,
-		MaxService:     quota,
-		FramesPerEpoch: frames,
-		Dynamics:       dynOpts,
-		Channels:       channels,
-		Metrics:        reg,
-		Trace:          tracer,
+	res, err := scream.RunWith(context.Background(), spec, scream.RunOptions{
+		Mesh:    mesh,
+		Metrics: reg,
+		Trace:   tracer,
 	})
 	if err != nil {
 		return err
 	}
 
+	frames := spec.FramesPerEpoch
+	if frames == 0 {
+		frames = 1
+	}
 	fmt.Printf("scheduler %s over %.2fs simulated (%d epochs, %d frames/epoch):\n",
-		schedName, res.Elapsed.Seconds(), res.Epochs, frames)
+		spec.SchedulerName(), res.Elapsed.Seconds(), res.Epochs, frames)
 	fmt.Printf("  offered    %7d pkts   delivered %7d (%.1f%%)   dropped %d\n",
 		res.Offered, res.Delivered, pct(res.Delivered, res.Offered), res.Dropped)
 	fmt.Printf("  goodput    %9.1f pkt/s   %.2f Mb/s\n", res.GoodputPps, res.GoodputBps/1e6)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"os"
 	"testing"
+
+	"scream"
 )
 
 // Small meshes and short horizons: these exercise the full CLI path, not the
@@ -71,6 +73,31 @@ func TestRunTraceFile(t *testing.T) {
 	}
 	if !bytes.HasPrefix(b, []byte(`{"v":1,"ev":"run_start"`)) {
 		t.Fatalf("trace does not start with a v1 run_start event: %.80s", b)
+	}
+}
+
+// TestRunScenarioFile drives the -scenario path: a JSON spec loads and runs;
+// a typoed knob fails loudly instead of silently running the default.
+func TestRunScenarioFile(t *testing.T) {
+	path := t.TempDir() + "/spec.json"
+	doc := `{"topology":{"kind":"grid","rows":4,"cols":4,"step_m":30},` +
+		`"traffic":{"kind":"poisson","load":0.5},"scheduler":"fdd",` +
+		`"horizon_sec":0.3,"seed":1,"frames_per_epoch":8,"max_service":8}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := scream.LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := execute(spec, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"horizon_secs":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scream.LoadScenario(path); err == nil {
+		t.Error("typoed scenario field should fail to load")
 	}
 }
 

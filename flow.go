@@ -7,14 +7,13 @@ package scream
 // and the "Dynamic traffic" section of DESIGN.md.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
-	"scream/internal/core"
 	"scream/internal/dynam"
 	"scream/internal/flow"
 	"scream/internal/obs"
-	"scream/internal/phys"
 	"scream/internal/traffic"
 )
 
@@ -26,6 +25,10 @@ type (
 	// FlowResult is the outcome of a dynamic traffic run: goodput, delay
 	// percentiles, backlog and control-overhead accounting.
 	FlowResult = flow.Result
+	// EpochUpdate is the per-epoch progress snapshot handed to
+	// FlowOptions.OnEpoch — the streaming hook of interactive callers (the
+	// screamd daemon's epoch stream is exactly these, serialized).
+	EpochUpdate = flow.EpochUpdate
 )
 
 // FlowScheduler selects the epoch scheduler of a dynamic traffic run.
@@ -105,6 +108,11 @@ type FlowOptions struct {
 	// boundaries, protocol handshakes and slot seals, churn and repair),
 	// timestamped in simulated ticks.
 	Trace *ObsTracer
+	// OnEpoch, when non-nil, is called synchronously after every built
+	// epoch's data phase with a progress snapshot — the streaming hook.
+	// The callback must treat the update as read-only; it cannot change
+	// any result.
+	OnEpoch func(EpochUpdate)
 }
 
 // MobilityKind selects the node mobility model of a dynamics run.
@@ -193,6 +201,15 @@ func HotspotRates(n int, s, v float64, max uint64, seed int64) ([]float64, error
 // (on a private clone of the mesh's network — the Mesh is never mutated).
 // See FlowResult for the metrics returned.
 func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
+	return RunFlowContext(context.Background(), m, opts)
+}
+
+// RunFlowContext is RunFlow with cancellation: the context is checked once
+// per driver cycle, and cancellation aborts the run with an error wrapping
+// ctx.Err(). This is the entrypoint of interactive callers (the screamd
+// daemon cancels a session's run when its client disconnects or the server
+// drains).
+func RunFlowContext(ctx context.Context, m *Mesh, opts FlowOptions) (*FlowResult, error) {
 	tm := opts.Timing
 	if tm == (Timing{}) {
 		tm = DefaultTiming()
@@ -250,66 +267,36 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 	if channels <= 0 {
 		channels = 1
 	}
-	var scheduler flow.Scheduler
-	switch opts.Scheduler {
-	case FlowGreedy, 0:
-		ord := opts.Ordering
-		if ord == 0 {
-			ord = ByHeadIDDesc
-		}
-		if channels > 1 {
-			cs, err := phys.NewChannelSet(net.Channel, channels)
-			if err != nil {
-				return nil, fmt.Errorf("scream: %w", err)
-			}
-			scheduler = flow.NewGreedyMultiScheduler(cs, m.radios, m.Links, ord)
-		} else {
-			scheduler = flow.NewGreedyScheduler(net.Channel, m.Links, ord)
-		}
-	case FlowMaxWeight, FlowFanZhang:
-		if channels > 1 {
-			return nil, fmt.Errorf("scream: flow scheduler %d is single-channel only", opts.Scheduler)
-		}
-		if opts.Scheduler == FlowMaxWeight {
-			scheduler = flow.NewMaxWeightScheduler(net.Channel, m.Links)
-		} else {
-			scheduler = flow.NewFanZhangScheduler(net.Channel, m.Links)
-		}
-	case FlowTDMA:
-		if channels > 1 {
-			scheduler = flow.NewTDMAMultiScheduler(m.Links, channels, m.radios)
-		} else {
-			scheduler = flow.NewTDMAScheduler(m.Links)
-		}
-	case FlowFDD, FlowPDD:
-		variant := core.FDD
-		if opts.Scheduler == FlowPDD {
-			variant = core.PDD
-		}
-		cfg := flow.ProtocolSchedulerConfig{
-			Channel: net.Channel,
-			Sens:    net.Sens,
-			Links:   m.Links,
-			K:       opts.K,
-			Timing:  tm,
-			Variant: variant,
-			P:       opts.P,
-			Seed:    opts.Seed,
-			Metrics: metrics,
-			Trace:   trace,
-		}
-		if channels > 1 {
-			cfg.Channels = channels
-			cfg.Radios = m.radios
-		}
-		scheduler, err = flow.NewProtocolScheduler(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("scream: %w", err)
-		}
-	default:
+	// Scheduler construction goes through the registry (internal/flow
+	// SchedulerDefs): the legacy FlowScheduler constants are resolved to
+	// their registry names and built from the same table flowsim, figgen and
+	// the screamd daemon enumerate.
+	name, ok := opts.Scheduler.registryName()
+	if !ok {
 		return nil, fmt.Errorf("scream: unknown flow scheduler %d", opts.Scheduler)
 	}
-	res, err := flow.Run(flow.Config{
+	def, err := flow.SchedulerDefByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("scream: %w", err)
+	}
+	scheduler, err := def.New(flow.SchedulerEnv{
+		Channel:  net.Channel,
+		Sens:     net.Sens,
+		Links:    m.Links,
+		Ordering: opts.Ordering,
+		K:        opts.K,
+		Timing:   tm,
+		P:        opts.P,
+		Seed:     opts.Seed,
+		Channels: channels,
+		Radios:   m.radios,
+		Metrics:  metrics,
+		Trace:    trace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scream: %w", err)
+	}
+	cfg := flow.Config{
 		Forest:         m.Forest,
 		Links:          m.Links,
 		Scheduler:      scheduler,
@@ -325,7 +312,12 @@ func RunFlow(m *Mesh, opts FlowOptions) (*FlowResult, error) {
 		RepairCost:     repairCost,
 		Metrics:        metrics,
 		Trace:          trace,
-	})
+		OnEpoch:        opts.OnEpoch,
+	}
+	if ctx != nil && ctx.Done() != nil {
+		cfg.Ctx = ctx
+	}
+	res, err := flow.Run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scream: %w", err)
 	}

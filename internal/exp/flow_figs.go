@@ -13,7 +13,6 @@ import (
 	"scream/internal/core"
 	"scream/internal/des"
 	"scream/internal/flow"
-	"scream/internal/sched"
 	"scream/internal/stats"
 	"scream/internal/traffic"
 )
@@ -42,28 +41,34 @@ func FlowLoads(quick bool) []float64 {
 	return []float64{0.3, 0.5, 0.7, 0.85, 1.0, 1.2, 1.5}
 }
 
-// flowSchedulers builds the figure's four curves for one scenario.
+// flowSchedulers builds the figure's four curves for one scenario through
+// the flow-scheduler registry: the centralized greedy upper bound, the two
+// distributed protocols at their real control cost, and the TDMA floor.
 func flowSchedulers(s *Scenario, tm core.Timing, seed int64) ([]flow.Scheduler, error) {
-	fdd, err := flow.NewProtocolScheduler(flow.ProtocolSchedulerConfig{
-		Channel: s.Net.Channel, Sens: s.Net.Sens, Links: s.Links,
-		Timing: tm, Variant: core.FDD, Seed: seed,
-	})
-	if err != nil {
-		return nil, err
+	base := flow.SchedulerEnv{
+		Channel: s.Net.Channel, Sens: s.Net.Sens, Links: s.Links, Timing: tm,
 	}
-	pdd, err := flow.NewProtocolScheduler(flow.ProtocolSchedulerConfig{
-		Channel: s.Net.Channel, Sens: s.Net.Sens, Links: s.Links,
-		Timing: tm, Variant: core.PDD, P: 0.8, Seed: seed + 1,
-	})
-	if err != nil {
-		return nil, err
+	var out []flow.Scheduler
+	for _, name := range []string{"greedy", "fdd", "pdd", "tdma"} {
+		def, err := flow.SchedulerDefByName(name)
+		if err != nil {
+			return nil, err
+		}
+		env := base
+		switch name {
+		case "fdd":
+			env.Seed = seed
+		case "pdd":
+			env.P = 0.8
+			env.Seed = seed + 1
+		}
+		sc, err := def.New(env)
+		if err != nil {
+			return nil, fmt.Errorf("flow figure: build %s: %w", name, err)
+		}
+		out = append(out, sc)
 	}
-	return []flow.Scheduler{
-		flow.NewGreedyScheduler(s.Net.Channel, s.Links, sched.ByHeadIDDesc),
-		fdd,
-		pdd,
-		flow.NewTDMAScheduler(s.Links),
-	}, nil
+	return out, nil
 }
 
 // flowCurveNames are FigFlowLoad's series, aligned with flowSchedulers.

@@ -18,7 +18,6 @@ import (
 	"scream/internal/core"
 	"scream/internal/des"
 	"scream/internal/flow"
-	"scream/internal/sched"
 	"scream/internal/stats"
 	"scream/internal/traffic"
 )
@@ -50,25 +49,44 @@ func SchedLoads(quick bool) []float64 {
 // unplanned uniform deployment of the paper's evaluation.
 func schedTopos() []string { return []string{"grid", "uniform"} }
 
+// schedFamily enumerates the figure's scheduler axis from the flow-scheduler
+// registry: every zero-control-cost (non-distributed) member, in registry
+// order — greedy, maxweight, fanzhang, tdma. A scheduler added to the
+// registry automatically grows the figure a curve.
+func schedFamily() []flow.SchedulerDef {
+	var fam []flow.SchedulerDef
+	for _, d := range flow.SchedulerDefs() {
+		if !d.Distributed {
+			fam = append(fam, d)
+		}
+	}
+	return fam
+}
+
 // schedCurveNames are FigSched's series: scheduler × topology.
 func schedCurveNames() []string {
 	var names []string
 	for _, topo := range schedTopos() {
-		for _, s := range []string{"Greedy", "MaxWeight", "FanZhang", "TDMA"} {
-			names = append(names, fmt.Sprintf("%s %s", s, topo))
+		for _, d := range schedFamily() {
+			names = append(names, fmt.Sprintf("%s %s", d.Display, topo))
 		}
 	}
 	return names
 }
 
-// schedSchedulers builds the figure's four epoch schedulers for a scenario.
-func schedSchedulers(s *Scenario) []flow.Scheduler {
-	return []flow.Scheduler{
-		flow.NewGreedyScheduler(s.Net.Channel, s.Links, sched.ByHeadIDDesc),
-		flow.NewMaxWeightScheduler(s.Net.Channel, s.Links),
-		flow.NewFanZhangScheduler(s.Net.Channel, s.Links),
-		flow.NewTDMAScheduler(s.Links),
+// schedSchedulers builds the figure's epoch schedulers for a scenario by
+// enumerating the registry (single-channel, default head-ID ordering).
+func schedSchedulers(s *Scenario) ([]flow.Scheduler, error) {
+	env := flow.SchedulerEnv{Channel: s.Net.Channel, Links: s.Links}
+	var out []flow.Scheduler
+	for _, d := range schedFamily() {
+		sc, err := d.New(env)
+		if err != nil {
+			return nil, fmt.Errorf("sched figure: build %s: %w", d.Name, err)
+		}
+		out = append(out, sc)
 	}
+	return out, nil
 }
 
 // RunSchedCell runs one (load, seed) cell of the sched figure: for each
@@ -103,7 +121,11 @@ func RunSchedCell(load float64, seed int64, quick bool) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		for ci, sc := range schedSchedulers(s) {
+		schedulers, err := schedSchedulers(s)
+		if err != nil {
+			return nil, err
+		}
+		for ci, sc := range schedulers {
 			arrivals := make([]traffic.Arrival, s.Net.NumNodes())
 			for u := range arrivals {
 				if s.Forest.IsGateway(u) {

@@ -30,6 +30,7 @@
 package flow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -144,6 +145,49 @@ type Config struct {
 	// Trace, when non-nil, receives structured run/epoch events timestamped
 	// in simulated ticks. Like Metrics, tracing is write-only.
 	Trace *obs.Tracer
+
+	// Ctx, when non-nil, bounds the run in *wall-clock* terms: it is checked
+	// once per driver cycle (epoch boundary), and a canceled context aborts
+	// the run with an error wrapping ctx.Err(). This is the cancellation
+	// hook of interactive callers — a server draining its sessions, a client
+	// dropping its connection. A nil Ctx (every batch caller) changes
+	// nothing.
+	Ctx context.Context
+	// OnEpoch, when non-nil, is invoked synchronously after each built
+	// epoch's data phase with a progress snapshot — the streaming hook of
+	// interactive callers. The callback must treat the update as read-only
+	// (EpochUpdate.Schedule is the live schedule, not a copy); the
+	// simulation never observes anything the callback does, so streaming
+	// cannot change a result.
+	OnEpoch func(EpochUpdate)
+}
+
+// EpochUpdate is the per-epoch progress snapshot handed to Config.OnEpoch:
+// the control phase just paid for and the data phase just drained. Counter
+// fields (Offered, Delivered, Dropped, Transmissions) are cumulative since
+// run start, so the final update converges on the run's Result.
+type EpochUpdate struct {
+	// Epoch is the 0-based control/data cycle index.
+	Epoch int `json:"epoch"`
+	// Now is the simulated time at the end of the epoch's data phase.
+	Now des.Time `json:"t"`
+	// Demand is the total backlog snapshot the schedule was built for;
+	// Slots the resulting schedule length; Control the simulated control
+	// time the build cost.
+	Demand  int      `json:"demand"`
+	Slots   int      `json:"slots"`
+	Control des.Time `json:"control"`
+	// Backlog is the total queued packets after the data phase.
+	Backlog int `json:"backlog"`
+	// Cumulative run counters at the end of the epoch.
+	Offered       int `json:"offered"`
+	Delivered     int `json:"delivered"`
+	Dropped       int `json:"dropped"`
+	Transmissions int `json:"transmissions"`
+	// Schedule is the schedule this epoch built and replayed — the live
+	// object, shared with the driver; callers must not mutate it. It is
+	// omitted from JSON; streaming servers marshal it separately on demand.
+	Schedule *sched.Schedule `json:"-"`
 }
 
 // Result is the outcome of a dynamic traffic run.
@@ -513,7 +557,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	demands := make([]int, len(links))
+	// Per-cycle snapshot of the control phase, consumed by the OnEpoch
+	// callback after the data phase.
+	var update EpochUpdate
 	for eng.Now() < cfg.Horizon {
+		// Cancellation gate: one channel poll per driver cycle. Batch runs
+		// (nil Ctx) skip it entirely.
+		if cfg.Ctx != nil {
+			select {
+			case <-cfg.Ctx.Done():
+				return nil, fmt.Errorf("flow: run canceled after %v simulated: %w", eng.Now(), cfg.Ctx.Err())
+			default:
+			}
+		}
 		// Topology events take effect at epoch boundaries: apply every event
 		// due by now, drop dead queues, re-home the routes, and charge the
 		// repair dissemination cost in simulated time.
@@ -569,6 +625,7 @@ func Run(cfg Config) (*Result, error) {
 		// (pendingRebind), no re-planning is possible: the network keeps
 		// replaying the last schedule it disseminated, for free.
 		var s *sched.Schedule
+		built := false
 		if pendingRebind {
 			res.ControlDownEpochs++
 			m.ctrlDownEp.Inc()
@@ -615,15 +672,27 @@ func Run(cfg Config) (*Result, error) {
 			m.epochs.Inc()
 			m.controlTicks.Add(int64(eng.Now() - now))
 			m.schedSlots.Set(int64(s.Length()))
-			if cfg.Trace != nil {
+			if cfg.Trace != nil || cfg.OnEpoch != nil {
 				demand := 0
 				for _, d := range demands {
 					demand += d
 				}
-				cfg.Trace.Emit("epoch",
-					obs.I("t", int64(eng.Now())), obs.N("epoch", res.Epochs-1),
-					obs.N("backlog", backlog), obs.N("demand", demand),
-					obs.N("slots", s.Length()), obs.I("ctrl", int64(eng.Now()-now)))
+				if cfg.Trace != nil {
+					cfg.Trace.Emit("epoch",
+						obs.I("t", int64(eng.Now())), obs.N("epoch", res.Epochs-1),
+						obs.N("backlog", backlog), obs.N("demand", demand),
+						obs.N("slots", s.Length()), obs.I("ctrl", int64(eng.Now()-now)))
+				}
+				if cfg.OnEpoch != nil {
+					built = true
+					update = EpochUpdate{
+						Epoch:    res.Epochs - 1,
+						Demand:   demand,
+						Slots:    s.Length(),
+						Control:  eng.Now() - now,
+						Schedule: s,
+					}
+				}
 			}
 		}
 
@@ -685,6 +754,17 @@ func Run(cfg Config) (*Result, error) {
 		checkRecovery()
 		m.backlog.Set(int64(backlog))
 		m.backlogPeak.Max(int64(peak))
+		if built {
+			// The data phase is over: complete the snapshot with the state
+			// the epoch left behind and hand it to the streaming caller.
+			update.Now = eng.Now()
+			update.Backlog = backlog
+			update.Offered = res.Offered
+			update.Delivered = res.Delivered
+			update.Dropped = res.Dropped
+			update.Transmissions = res.Transmissions
+			cfg.OnEpoch(update)
+		}
 
 		if eng.Now() == now {
 			if dyn != nil {

@@ -9,6 +9,9 @@ import "scream/internal/phys"
 type Backend struct {
 	// Name identifies the backend in harness reports and figure series.
 	Name string
+	// Doc is a one-line description for registry listings (the flow-level
+	// scheduler registry and the public scream.Schedulers API re-export it).
+	Doc string
 	// Build computes a feasible schedule for the instance.
 	Build func(ch *phys.Channel, links []phys.Link, demands []int) (*Schedule, error)
 }
@@ -25,10 +28,30 @@ func Backends() []Backend {
 		}
 	}
 	return []Backend{
-		{Name: "greedy(head-id-desc)", Build: ordered(ByHeadIDDesc)},
-		{Name: "greedy(demand-desc)", Build: ordered(ByDemandDesc)},
-		{Name: "greedy(length-desc)", Build: ordered(ByLengthDesc)},
-		{Name: "maxweight", Build: GreedyMaxWeight},
-		{Name: "fanzhang", Build: ApproxFanZhang},
+		{
+			Name:  "greedy(head-id-desc)",
+			Doc:   "centralized GreedyPhysical in the paper's head-ID admission order (the order FDD emulates)",
+			Build: ordered(ByHeadIDDesc),
+		},
+		{
+			Name:  "greedy(demand-desc)",
+			Doc:   "centralized GreedyPhysical admitting heavier-demand links first",
+			Build: ordered(ByDemandDesc),
+		},
+		{
+			Name:  "greedy(length-desc)",
+			Doc:   "centralized GreedyPhysical admitting longer links first",
+			Build: ordered(ByLengthDesc),
+		},
+		{
+			Name:  "maxweight",
+			Doc:   "queue-aware greedy re-ranking links by backlog x Shannon-rate each build (arXiv:1106.1590)",
+			Build: GreedyMaxWeight,
+		},
+		{
+			Name:  "fanzhang",
+			Doc:   "Fan-Zhang length-class approximation: geometric classes first-fit on fresh slots, longest class first (arXiv:0910.5215)",
+			Build: ApproxFanZhang,
+		},
 	}
 }

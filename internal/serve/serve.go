@@ -1,0 +1,413 @@
+// Package serve is the HTTP service layer of the screamd daemon: a
+// long-running, multi-tenant mesh-simulation controller. Clients POST a
+// scream.ScenarioSpec (or name a preloaded scenario) to /api/v1/run and
+// receive the run as a stream of per-epoch JSON events — NDJSON by default,
+// server-sent events when requested — terminated by the full FlowResult.
+//
+// Every run is a session: admission-controlled (MaxSessions concurrent, 429
+// beyond), sandboxed (preloaded scenarios are cloned per session, so
+// concurrent runs never share mutable state), and individually cancelable
+// (client disconnect or server drain aborts the run via its context). The
+// daemon's own scream_serve_* metrics land in the same registry as the
+// simulation's flow/core/sched families and are exposed on /metrics.
+//
+// The package deliberately holds no scheduling logic: a streamed run is
+// exactly scream.RunWith on the same spec — byte-for-byte the result a
+// library caller gets in-process.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scream"
+	"scream/internal/obs"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Scenarios preloads named scenarios: their meshes are built once at
+	// startup and cloned per session, so repeated runs skip deployment
+	// construction and concurrent runs stay isolated. Specs must validate
+	// and carry distinct, non-empty names.
+	Scenarios []scream.ScenarioSpec
+	// MaxSessions caps concurrently running simulations; further /api/v1/run
+	// requests get 429 Too Many Requests. 0 means DefaultMaxSessions.
+	MaxSessions int
+	// Metrics is the registry backing /metrics and every run's simulation
+	// counters. Nil creates a private registry.
+	Metrics *scream.ObsRegistry
+	// Version is reported by /version ("" = "dev").
+	Version string
+}
+
+// DefaultMaxSessions is the admission cap when Config.MaxSessions is 0.
+const DefaultMaxSessions = 4
+
+// scenario is a preloaded spec with its prebuilt deployment.
+type scenario struct {
+	spec scream.ScenarioSpec
+	mesh *scream.Mesh
+}
+
+// session is one running simulation.
+type session struct {
+	id        int64
+	name      string
+	scheduler string
+	started   time.Time
+	epochs    atomic.Int64
+	cancel    context.CancelFunc
+}
+
+// Server is the screamd HTTP handler. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	mux       *http.ServeMux
+	reg       *scream.ObsRegistry
+	max       int
+	version   string
+	scenarios map[string]*scenario
+	names     []string
+
+	mu       sync.Mutex
+	sessions map[int64]*session
+	nextID   int64
+	draining bool
+
+	mStarted   *obs.Counter
+	mCompleted *obs.Counter
+	mFailed    *obs.Counter
+	mRejected  *obs.Counter
+	mEpochs    *obs.Counter
+	mActive    *obs.Gauge
+}
+
+// New builds a Server, constructing the meshes of every preloaded scenario.
+func New(cfg Config) (*Server, error) {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = scream.NewObsRegistry()
+	}
+	max := cfg.MaxSessions
+	if max <= 0 {
+		max = DefaultMaxSessions
+	}
+	version := cfg.Version
+	if version == "" {
+		version = "dev"
+	}
+	s := &Server{
+		reg:       reg,
+		max:       max,
+		version:   version,
+		scenarios: make(map[string]*scenario),
+		sessions:  make(map[int64]*session),
+
+		mStarted:   reg.Counter("scream_serve_sessions_started_total", "simulation sessions admitted"),
+		mCompleted: reg.Counter("scream_serve_sessions_completed_total", "sessions that ran to their horizon"),
+		mFailed:    reg.Counter("scream_serve_sessions_failed_total", "sessions that ended in an error (including cancellation)"),
+		mRejected:  reg.Counter("scream_serve_sessions_rejected_total", "run requests refused at the admission cap"),
+		mEpochs:    reg.Counter("scream_serve_epochs_streamed_total", "epoch events streamed to clients"),
+		mActive:    reg.Gauge("scream_serve_sessions_active", "currently running sessions"),
+	}
+	for _, spec := range cfg.Scenarios {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("serve: preloaded scenario without a name")
+		}
+		if _, dup := s.scenarios[spec.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate scenario %q", spec.Name)
+		}
+		mesh, err := spec.Mesh()
+		if err != nil {
+			return nil, fmt.Errorf("serve: scenario %q: %w", spec.Name, err)
+		}
+		s.scenarios[spec.Name] = &scenario{spec: spec.Clone(), mesh: mesh}
+		s.names = append(s.names, spec.Name)
+	}
+	sort.Strings(s.names)
+
+	mux := http.NewServeMux()
+	o := obs.Handler(reg)
+	mux.Handle("/metrics", o)
+	mux.Handle("/debug/pprof/", o)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/version", s.handleVersion)
+	mux.HandleFunc("/api/v1/schedulers", s.handleSchedulers)
+	mux.HandleFunc("/api/v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("/api/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/api/v1/run", s.handleRun)
+	s.mux = mux
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// CancelSessions aborts every running session (their streams end with an
+// error event) and refuses new admissions. It is the forced half of a
+// graceful shutdown: call it when http.Server.Shutdown exceeds the drain
+// budget, then Close the listener.
+func (s *Server) CancelSessions() {
+	s.mu.Lock()
+	s.draining = true
+	cancels := make([]context.CancelFunc, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		cancels = append(cancels, sess.cancel)
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// ActiveSessions returns the number of currently running sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// admit registers a session under the admission cap. ok is false when the
+// server is at capacity or draining.
+func (s *Server) admit(name, scheduler string, cancel context.CancelFunc) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || len(s.sessions) >= s.max {
+		s.mRejected.Inc()
+		return nil, false
+	}
+	s.nextID++
+	sess := &session{
+		id:        s.nextID,
+		name:      name,
+		scheduler: scheduler,
+		started:   time.Now(),
+		cancel:    cancel,
+	}
+	s.sessions[sess.id] = sess
+	s.mStarted.Inc()
+	s.mActive.Set(int64(len(s.sessions)))
+	return sess, true
+}
+
+// release unregisters a finished session.
+func (s *Server) release(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, sess.id)
+	s.mActive.Set(int64(len(s.sessions)))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"version": s.version})
+}
+
+// handleSchedulers serves the public scheduler registry.
+func (s *Server) handleSchedulers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, scream.Schedulers())
+}
+
+// handleScenarios lists the preloaded scenarios with their full specs.
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	out := make([]scream.ScenarioSpec, 0, len(s.names))
+	for _, name := range s.names {
+		out = append(out, s.scenarios[name].spec.Clone())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// sessionInfo is the /api/v1/sessions wire shape.
+type sessionInfo struct {
+	ID        int64     `json:"id"`
+	Name      string    `json:"name,omitempty"`
+	Scheduler string    `json:"scheduler"`
+	StartedAt time.Time `json:"started_at"`
+	Epochs    int64     `json:"epochs"`
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]sessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sessionInfo{
+			ID:        sess.id,
+			Name:      sess.name,
+			Scheduler: sess.scheduler,
+			StartedAt: sess.started,
+			Epochs:    sess.epochs.Load(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// maxSpecBytes bounds a POSTed scenario document.
+const maxSpecBytes = 1 << 20
+
+// handleRun admits, runs and streams one session.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a scenario spec (or ?scenario=<name>) to run")
+		return
+	}
+	var (
+		spec scream.ScenarioSpec
+		mesh *scream.Mesh
+	)
+	if name := r.URL.Query().Get("scenario"); name != "" {
+		sc, ok := s.scenarios[name]
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("unknown scenario %q (preloaded: %s)", name, strings.Join(s.names, ", ")))
+			return
+		}
+		// Per-session sandbox: the shared prebuilt deployment is cloned, so
+		// this run can never observe (or disturb) a concurrent one.
+		spec, mesh = sc.spec.Clone(), sc.mesh.Clone()
+	} else {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("read scenario: %v", err))
+			return
+		}
+		spec, err = scream.ParseScenario(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+
+	// The session context: canceled when the client goes away, when the
+	// handler returns, or when CancelSessions force-drains the server.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	sess, ok := s.admit(spec.Name, spec.SchedulerName(), cancel)
+	if !ok {
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("session limit reached (%d active)", s.max))
+		return
+	}
+	defer s.release(sess)
+
+	st := newStream(w, r)
+	st.send(startEvent{Type: "start", Session: sess.id, Name: spec.Name,
+		Scheduler: spec.SchedulerName(), Spec: &spec})
+	res, err := scream.RunWith(ctx, spec, scream.RunOptions{
+		Mesh:    mesh,
+		Metrics: s.reg,
+		OnEpoch: func(u scream.EpochUpdate) {
+			sess.epochs.Add(1)
+			s.mEpochs.Inc()
+			st.send(epochEvent{Type: "epoch", Session: sess.id, EpochUpdate: u})
+		},
+	})
+	if err != nil {
+		s.mFailed.Inc()
+		st.send(errorEvent{Type: "error", Session: sess.id, Error: err.Error()})
+		return
+	}
+	s.mCompleted.Inc()
+	st.send(resultEvent{Type: "result", Session: sess.id, Result: res})
+}
+
+// Streamed event shapes. Every line/event is one self-describing JSON object
+// with a "type" discriminator.
+type startEvent struct {
+	Type      string               `json:"type"`
+	Session   int64                `json:"session"`
+	Name      string               `json:"name,omitempty"`
+	Scheduler string               `json:"scheduler"`
+	Spec      *scream.ScenarioSpec `json:"spec"`
+}
+
+type epochEvent struct {
+	Type    string `json:"type"`
+	Session int64  `json:"session"`
+	scream.EpochUpdate
+}
+
+type resultEvent struct {
+	Type    string             `json:"type"`
+	Session int64              `json:"session"`
+	Result  *scream.FlowResult `json:"result"`
+}
+
+type errorEvent struct {
+	Type    string `json:"type"`
+	Session int64  `json:"session"`
+	Error   string `json:"error"`
+}
+
+// stream writes the run's event sequence, flushing after every event so
+// clients see epochs as they happen: newline-delimited JSON by default,
+// server-sent events when the client asked for text/event-stream.
+type stream struct {
+	w   http.ResponseWriter
+	fl  http.Flusher
+	sse bool
+}
+
+func newStream(w http.ResponseWriter, r *http.Request) *stream {
+	st := &stream{w: w}
+	st.fl, _ = w.(http.Flusher)
+	st.sse = strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if st.sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	st.flush()
+	return st
+}
+
+func (st *stream) send(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Event shapes are our own structs; a marshal failure is a
+		// programming error, and mid-stream there is no status to change.
+		return
+	}
+	if st.sse {
+		fmt.Fprintf(st.w, "data: %s\n\n", data)
+	} else {
+		st.w.Write(data)
+		io.WriteString(st.w, "\n")
+	}
+	st.flush()
+}
+
+func (st *stream) flush() {
+	if st.fl != nil {
+		st.fl.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -232,7 +232,27 @@ func finishMesh(net *topo.Network, gateways []int, lo, hi, radios int, balanced 
 	for i, l := range links {
 		demands[i] = agg[l.From]
 	}
-	return &Mesh{Network: net, Forest: f, Links: links, Demands: demands, gateways: gateways, radios: radios}, nil
+	// The gateway list is defensively copied: the caller keeps ownership of
+	// the slice it passed in, and mutating it later must not re-route the
+	// mesh's idea of its gateways.
+	return &Mesh{Network: net, Forest: f, Links: links, Demands: demands,
+		gateways: append([]int(nil), gateways...), radios: radios}, nil
+}
+
+// Clone returns a deep copy of the mesh: a cloned network (positions, powers,
+// liveness), fresh link/demand/gateway slices, and the shared routing forest
+// (immutable after construction — repairs build new forests, see
+// route.Forest). Clones are how concurrent sessions sandbox a common
+// deployment: runs on a clone never observe each other.
+func (m *Mesh) Clone() *Mesh {
+	return &Mesh{
+		Network:  m.Network.Clone(),
+		Forest:   m.Forest,
+		Links:    append([]Link(nil), m.Links...),
+		Demands:  append([]int(nil), m.Demands...),
+		gateways: append([]int(nil), m.gateways...),
+		radios:   m.radios,
+	}
 }
 
 // NumNodes returns the number of mesh routers.

@@ -1,0 +1,534 @@
+package scream
+
+// The serializable scenario API: one JSON document describing a complete
+// flow-level experiment — topology, radio environment, traffic, scheduler,
+// dynamics — and one entrypoint, Run, that executes it. The screamd daemon,
+// the flowsim CLI and library callers all consume the same ScenarioSpec, so
+// a scenario POSTed to the daemon is bit-for-bit the run a local caller gets
+// from Run with the same spec. Unknown JSON fields are rejected (strict
+// decoding): a typoed knob fails loudly instead of silently running the
+// default.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// TopologySpec describes the mesh deployment of a scenario.
+type TopologySpec struct {
+	// Kind selects the deployment generator: "grid" (planned, Rows x Cols at
+	// StepMeters spacing), "uniform" (Nodes drawn uniformly in a SideMeters
+	// square, redrawn until connected) or "line" (Nodes in a row at
+	// StepMeters spacing).
+	Kind string `json:"kind"`
+
+	// Grid and line knobs.
+	Rows       int     `json:"rows,omitempty"`
+	Cols       int     `json:"cols,omitempty"`
+	StepMeters float64 `json:"step_m,omitempty"`
+	// TxPowerDBm is the common transmit power of a grid (0 derives it from
+	// the grid step).
+	TxPowerDBm float64 `json:"tx_dbm,omitempty"`
+	// RangeSlack is the line deployment's communication range in grid steps
+	// (0 = the 1.05 default).
+	RangeSlack float64 `json:"range_slack,omitempty"`
+
+	// Uniform and line knobs.
+	Nodes      int     `json:"nodes,omitempty"`
+	SideMeters float64 `json:"side_m,omitempty"`
+	// MinTxDBm/MaxTxDBm bound the uniform deployment's heterogeneous
+	// per-node transmit power.
+	MinTxDBm float64 `json:"min_tx_dbm,omitempty"`
+	MaxTxDBm float64 `json:"max_tx_dbm,omitempty"`
+
+	// Gateways lists gateway node IDs; empty places the defaults (four
+	// quadrant gateways; node 0 for a line).
+	Gateways []int `json:"gateways,omitempty"`
+	// DemandLo/DemandHi bound the per-node static demand draw (defaults 1
+	// and 10); the flow simulator uses them only through routing.
+	DemandLo int `json:"demand_lo,omitempty"`
+	DemandHi int `json:"demand_hi,omitempty"`
+	// BalancedRouting uses load-aware parent tie-breaking when building the
+	// routing forest.
+	BalancedRouting bool `json:"balanced_routing,omitempty"`
+	// Radio overrides the radio environment (nil = DefaultRadioParams).
+	Radio *RadioSpec `json:"radio,omitempty"`
+}
+
+// RadioSpec is the serializable radio environment. A nil RadioSpec — or one
+// that sets only NumRadios — keeps the paper's default environment
+// (DefaultRadioParams).
+type RadioSpec struct {
+	PathLossExponent float64 `json:"path_loss_exponent,omitempty"`
+	RefLossDB        float64 `json:"ref_loss_db,omitempty"`
+	NoiseDBm         float64 `json:"noise_dbm,omitempty"`
+	BetaDB           float64 `json:"beta_db,omitempty"`
+	// CSThresholdDBm is the carrier-sense threshold; nil derives it at
+	// decode sensitivity (RadioParams' NaN sentinel, which JSON cannot
+	// carry). A pointer is used so an explicit 0 dBm stays expressible.
+	CSThresholdDBm *float64 `json:"cs_threshold_dbm,omitempty"`
+	ShadowSigmaDB  float64  `json:"shadow_sigma_db,omitempty"`
+	// NumRadios is the per-node radio interface count (0 = 1).
+	NumRadios int `json:"num_radios,omitempty"`
+}
+
+// params converts the spec to RadioParams, mapping the nil threshold back to
+// the NaN "derive" sentinel and preserving the all-zero-means-default
+// convenience.
+func (r *RadioSpec) params() RadioParams {
+	if r == nil {
+		return DefaultRadioParams()
+	}
+	p := RadioParams{
+		PathLossExponent: r.PathLossExponent,
+		RefLossDB:        r.RefLossDB,
+		NoiseDBm:         r.NoiseDBm,
+		BetaDB:           r.BetaDB,
+		ShadowSigmaDB:    r.ShadowSigmaDB,
+		NumRadios:        r.NumRadios,
+	}
+	if r.CSThresholdDBm == nil {
+		// Leave the physics fields' zero-ness intact: withDefaults (inside
+		// the mesh constructors) swaps in the default environment when every
+		// physics field is zero, and NaN would defeat that check.
+		if p.PathLossExponent == 0 && p.RefLossDB == 0 && p.NoiseDBm == 0 &&
+			p.BetaDB == 0 && p.ShadowSigmaDB == 0 {
+			d := DefaultRadioParams()
+			d.NumRadios = r.NumRadios
+			return d
+		}
+		p.CSThresholdDBm = math.NaN()
+	} else {
+		p.CSThresholdDBm = *r.CSThresholdDBm
+	}
+	return p
+}
+
+// TrafficSpec describes the offered load of a scenario.
+type TrafficSpec struct {
+	// Kind selects the arrival process: "cbr", "poisson", "bursty"
+	// (on/off Poisson) or "zipf" (Poisson with Zipf-skewed per-node rates).
+	Kind string `json:"kind"`
+	// Load is the per-node offered load as a multiple of the mesh's static
+	// capacity (see Mesh.FlowFrameTime); RatePps is an absolute per-node
+	// rate in packets per second. Set exactly one.
+	Load    float64 `json:"load,omitempty"`
+	RatePps float64 `json:"rate_pps,omitempty"`
+	// Bursty shape: PeakFactor x the mean rate during exponential ON periods
+	// (defaults: 4x peak, 50 ms on, 150 ms off — same mean rate).
+	PeakFactor float64 `json:"peak_factor,omitempty"`
+	MeanOnSec  float64 `json:"mean_on_sec,omitempty"`
+	MeanOffSec float64 `json:"mean_off_sec,omitempty"`
+	// Zipf shape (defaults s=1.5, multipliers capped at 32).
+	ZipfS   float64 `json:"zipf_s,omitempty"`
+	ZipfMax uint64  `json:"zipf_max,omitempty"`
+}
+
+// DynamicsSpec describes topology dynamics. A spec with zero churn and no
+// mobility is inert and equivalent to omitting dynamics entirely.
+type DynamicsSpec struct {
+	// FailRate is expected node failures per node per simulated second.
+	FailRate float64 `json:"fail_rate,omitempty"`
+	// MeanDowntimeSec is the mean repair time (0 = failures are permanent).
+	MeanDowntimeSec float64 `json:"mean_downtime_sec,omitempty"`
+	FailGateways    bool    `json:"fail_gateways,omitempty"`
+	// Mobility is "", "none", "waypoint" or "drift".
+	Mobility        string  `json:"mobility,omitempty"`
+	SpeedMps        float64 `json:"speed_mps,omitempty"`
+	PauseSec        float64 `json:"pause_sec,omitempty"`
+	MoveIntervalSec float64 `json:"move_interval_sec,omitempty"`
+}
+
+// ScenarioSpec is a complete, serializable flow-simulation scenario: the JSON
+// document screamd accepts on /api/v1/run and flowsim loads with -scenario.
+// The zero values of the run knobs keep FlowOptions' defaults (FramesPerEpoch
+// 0 = 1, MaxService 0 = unbounded, ...).
+type ScenarioSpec struct {
+	// Name is a free-form label echoed in daemon session listings.
+	Name     string       `json:"name,omitempty"`
+	Topology TopologySpec `json:"topology"`
+	Traffic  TrafficSpec  `json:"traffic"`
+	// Scheduler is a registry name from Schedulers() ("" = "greedy").
+	Scheduler string `json:"scheduler,omitempty"`
+	// P is PDD's activation probability (required for "pdd").
+	P float64 `json:"p,omitempty"`
+	// K is the SCREAM length for the distributed schedulers (0 = the mesh's
+	// interference diameter).
+	K int `json:"k,omitempty"`
+	// HorizonSec is the simulated duration in seconds. Required.
+	HorizonSec float64 `json:"horizon_sec"`
+	// Seed drives all randomness: deployment draw, arrivals, protocol coins.
+	Seed           int64   `json:"seed,omitempty"`
+	FramesPerEpoch int     `json:"frames_per_epoch,omitempty"`
+	MaxService     int     `json:"max_service,omitempty"`
+	MaxQueue       int     `json:"max_queue,omitempty"`
+	IdleWaitSec    float64 `json:"idle_wait_sec,omitempty"`
+	// Channels is the orthogonal data channel count (0 or 1 =
+	// single-channel).
+	Channels int           `json:"channels,omitempty"`
+	Dynamics *DynamicsSpec `json:"dynamics,omitempty"`
+}
+
+// scenarioSpecJSON is the method-free shadow of ScenarioSpec used by the
+// custom (un)marshalers to avoid recursion.
+type scenarioSpecJSON ScenarioSpec
+
+// UnmarshalJSON decodes strictly: unknown fields anywhere in the document
+// (including nested specs) are an error.
+func (s *ScenarioSpec) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var raw scenarioSpecJSON
+	if err := dec.Decode(&raw); err != nil {
+		return fmt.Errorf("scream: scenario spec: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("scream: scenario spec: trailing data after JSON document")
+	}
+	*s = ScenarioSpec(raw)
+	return nil
+}
+
+// MarshalJSON is the inverse of UnmarshalJSON: Marshal then Unmarshal
+// round-trips a spec exactly.
+func (s ScenarioSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(scenarioSpecJSON(s))
+}
+
+// ParseScenario decodes and validates a JSON scenario document.
+func ParseScenario(data []byte) (ScenarioSpec, error) {
+	var spec ScenarioSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return ScenarioSpec{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return ScenarioSpec{}, err
+	}
+	return spec, nil
+}
+
+// LoadScenario reads, decodes and validates a JSON scenario file.
+func LoadScenario(path string) (ScenarioSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("scream: scenario: %w", err)
+	}
+	spec, err := ParseScenario(data)
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("%w (%s)", err, path)
+	}
+	return spec, nil
+}
+
+// Clone returns a deep copy: mutating the copy (its gateway list, radio,
+// dynamics) never affects the original. Specs cross the daemon's session
+// boundary through this.
+func (s ScenarioSpec) Clone() ScenarioSpec {
+	c := s
+	c.Topology.Gateways = append([]int(nil), s.Topology.Gateways...)
+	if s.Topology.Radio != nil {
+		r := *s.Topology.Radio
+		if s.Topology.Radio.CSThresholdDBm != nil {
+			v := *s.Topology.Radio.CSThresholdDBm
+			r.CSThresholdDBm = &v
+		}
+		c.Topology.Radio = &r
+	}
+	if s.Dynamics != nil {
+		d := *s.Dynamics
+		c.Dynamics = &d
+	}
+	return c
+}
+
+// SchedulerName resolves the spec's scheduler name, applying the registry
+// default ("greedy") when unset.
+func (s ScenarioSpec) SchedulerName() string {
+	if s.Scheduler == "" {
+		return "greedy"
+	}
+	return s.Scheduler
+}
+
+// Validate checks the spec for structural errors: unknown kinds, missing
+// required knobs, contradictory load settings. Run validates implicitly.
+func (s ScenarioSpec) Validate() error {
+	t := s.Topology
+	switch t.Kind {
+	case "grid":
+		if t.Rows <= 0 || t.Cols <= 0 {
+			return fmt.Errorf("scream: scenario: grid topology needs rows and cols > 0")
+		}
+		if t.StepMeters <= 0 {
+			return fmt.Errorf("scream: scenario: grid topology needs step_m > 0")
+		}
+	case "uniform":
+		if t.Nodes <= 0 || t.SideMeters <= 0 {
+			return fmt.Errorf("scream: scenario: uniform topology needs nodes and side_m > 0")
+		}
+	case "line":
+		if t.Nodes <= 0 || t.StepMeters <= 0 {
+			return fmt.Errorf("scream: scenario: line topology needs nodes and step_m > 0")
+		}
+	case "":
+		return fmt.Errorf("scream: scenario: topology.kind is required (grid, uniform, line)")
+	default:
+		return fmt.Errorf("scream: scenario: unknown topology kind %q (valid: grid, uniform, line)", t.Kind)
+	}
+	switch s.Traffic.Kind {
+	case "cbr", "poisson", "bursty", "zipf":
+	case "":
+		return fmt.Errorf("scream: scenario: traffic.kind is required (cbr, poisson, bursty, zipf)")
+	default:
+		return fmt.Errorf("scream: scenario: unknown traffic kind %q (valid: cbr, poisson, bursty, zipf)", s.Traffic.Kind)
+	}
+	if s.Traffic.Load < 0 || s.Traffic.RatePps < 0 {
+		return fmt.Errorf("scream: scenario: traffic load and rate_pps must be non-negative")
+	}
+	if s.Traffic.Load > 0 && s.Traffic.RatePps > 0 {
+		return fmt.Errorf("scream: scenario: set traffic.load or traffic.rate_pps, not both")
+	}
+	if s.Traffic.Load == 0 && s.Traffic.RatePps == 0 {
+		return fmt.Errorf("scream: scenario: traffic needs load or rate_pps > 0")
+	}
+	name := s.SchedulerName()
+	if _, err := SchedulerByName(name); err != nil {
+		return err
+	}
+	if name == "pdd" && (s.P <= 0 || s.P > 1) {
+		return fmt.Errorf("scream: scenario: pdd needs p in (0, 1], got %g", s.P)
+	}
+	if s.HorizonSec <= 0 {
+		return fmt.Errorf("scream: scenario: horizon_sec must be > 0")
+	}
+	if s.Channels < 0 {
+		return fmt.Errorf("scream: scenario: channels must be non-negative")
+	}
+	if s.Dynamics != nil {
+		if _, err := s.Dynamics.options(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mesh builds the scenario's deployment (topology, routing forest, demands).
+// The returned mesh is exclusively the caller's: nothing in the spec aliases
+// it.
+func (s ScenarioSpec) Mesh() (*Mesh, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	t := s.Topology
+	radio := t.Radio.params()
+	gws := append([]int(nil), t.Gateways...)
+	switch t.Kind {
+	case "grid":
+		return NewGridMesh(GridMeshConfig{
+			Rows: t.Rows, Cols: t.Cols, StepMeters: t.StepMeters,
+			TxPowerDBm: t.TxPowerDBm, Gateways: gws,
+			DemandLo: t.DemandLo, DemandHi: t.DemandHi,
+			Radio: radio, Seed: s.Seed, BalancedRouting: t.BalancedRouting,
+		})
+	case "uniform":
+		return NewUniformMesh(UniformMeshConfig{
+			N: t.Nodes, SideMeters: t.SideMeters,
+			MinTxDBm: t.MinTxDBm, MaxTxDBm: t.MaxTxDBm, Gateways: gws,
+			DemandLo: t.DemandLo, DemandHi: t.DemandHi,
+			Radio: radio, Seed: s.Seed, BalancedRouting: t.BalancedRouting,
+		})
+	default: // "line" — Validate rejected everything else
+		return NewLineMesh(LineMeshConfig{
+			N: t.Nodes, StepMeters: t.StepMeters, RangeSlack: t.RangeSlack,
+			Gateways: gws, DemandLo: t.DemandLo, DemandHi: t.DemandHi,
+			Radio: radio, Seed: s.Seed,
+		})
+	}
+}
+
+// arrivals builds the per-node arrival processes, replicating the flowsim
+// semantics: Zipf multipliers are drawn for source nodes only (normalizing
+// over gateways would shed their mass and under-offer the promised load).
+func (s ScenarioSpec) arrivals(m *Mesh, tm Timing) ([]Arrival, error) {
+	rate := s.Traffic.RatePps
+	if s.Traffic.Load > 0 {
+		frame, err := m.FlowFrameTime(tm)
+		if err != nil {
+			return nil, err
+		}
+		rate = s.Traffic.Load / frame.Seconds()
+	}
+	n := m.NumNodes()
+	isGW := make(map[int]bool)
+	gateways := m.Gateways()
+	for _, g := range gateways {
+		isGW[g] = true
+	}
+	mult := make([]float64, n)
+	for i := range mult {
+		mult[i] = 1
+	}
+	if s.Traffic.Kind == "zipf" {
+		zs := s.Traffic.ZipfS
+		if zs == 0 {
+			zs = 1.5
+		}
+		zmax := s.Traffic.ZipfMax
+		if zmax == 0 {
+			zmax = 32
+		}
+		rates, err := HotspotRates(n-len(gateways), zs, 1, zmax, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		next := 0
+		for u := 0; u < n; u++ {
+			if isGW[u] {
+				mult[u] = 0
+				continue
+			}
+			mult[u] = rates[next]
+			next++
+		}
+	}
+	peak := s.Traffic.PeakFactor
+	if peak == 0 {
+		peak = 4
+	}
+	meanOn, meanOff := s.Traffic.MeanOnSec, s.Traffic.MeanOffSec
+	if meanOn == 0 {
+		meanOn = 0.05
+	}
+	if meanOff == 0 {
+		meanOff = 0.15
+	}
+	arrivals := make([]Arrival, n)
+	for u := 0; u < n; u++ {
+		if isGW[u] {
+			continue
+		}
+		r := rate * mult[u]
+		if r <= 0 {
+			continue
+		}
+		var a Arrival
+		var err error
+		switch s.Traffic.Kind {
+		case "cbr":
+			a, err = NewCBR(r)
+		case "poisson", "zipf":
+			a, err = NewPoisson(r)
+		case "bursty":
+			a, err = NewBursty(peak*r, secsToSim(meanOn), secsToSim(meanOff))
+		}
+		if err != nil {
+			return nil, err
+		}
+		arrivals[u] = a
+	}
+	return arrivals, nil
+}
+
+// options converts a dynamics spec to DynamicsOptions, mapping an inert spec
+// (no churn, no mobility) to nil so the run takes the identical static path.
+func (d *DynamicsSpec) options() (*DynamicsOptions, error) {
+	if d == nil {
+		return nil, nil
+	}
+	mob := MobilityNone
+	switch d.Mobility {
+	case "", "none":
+	case "waypoint":
+		mob = MobilityWaypoint
+	case "drift":
+		mob = MobilityDrift
+	default:
+		return nil, fmt.Errorf("scream: scenario: unknown mobility model %q (valid: none, waypoint, drift)", d.Mobility)
+	}
+	if d.FailRate == 0 && mob == MobilityNone {
+		return nil, nil
+	}
+	return &DynamicsOptions{
+		FailRate:     d.FailRate,
+		MeanDowntime: secsToSim(d.MeanDowntimeSec),
+		FailGateways: d.FailGateways,
+		Mobility:     mob,
+		SpeedMps:     d.SpeedMps,
+		Pause:        secsToSim(d.PauseSec),
+		MoveInterval: secsToSim(d.MoveIntervalSec),
+	}, nil
+}
+
+// secsToSim converts wall-clock-style seconds to simulated ticks.
+func secsToSim(x float64) SimTime { return SimTime(x * float64(Second)) }
+
+// RunOptions carries the non-serializable hooks of RunWith — everything a
+// scenario run can take beyond the spec itself.
+type RunOptions struct {
+	// OnEpoch streams per-epoch progress (see FlowOptions.OnEpoch).
+	OnEpoch func(EpochUpdate)
+	// Metrics/Trace are the observability sinks (see FlowOptions).
+	Metrics *ObsRegistry
+	Trace   *ObsTracer
+	// Mesh, when non-nil, skips building spec.Topology and runs on the given
+	// mesh instead — the daemon's preloaded-scenario path, where each session
+	// runs on its own clone of a shared deployment.
+	Mesh *Mesh
+}
+
+// Run executes a scenario: build the deployment, offer the traffic, drain it
+// with the named scheduler until the horizon. It is the single entrypoint
+// behind flowsim and the screamd daemon; ctx cancellation aborts the run.
+func Run(ctx context.Context, spec ScenarioSpec) (*FlowResult, error) {
+	return RunWith(ctx, spec, RunOptions{})
+}
+
+// RunWith is Run with hooks: epoch streaming, observability sinks, and an
+// optional pre-built mesh.
+func RunWith(ctx context.Context, spec ScenarioSpec, o RunOptions) (*FlowResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := o.Mesh
+	if m == nil {
+		var err error
+		m, err = spec.Mesh()
+		if err != nil {
+			return nil, err
+		}
+	}
+	tm := DefaultTiming()
+	arrivals, err := spec.arrivals(m, tm)
+	if err != nil {
+		return nil, err
+	}
+	scheduler, err := SchedulerByName(spec.SchedulerName())
+	if err != nil {
+		return nil, err
+	}
+	dyn, err := spec.Dynamics.options()
+	if err != nil {
+		return nil, err
+	}
+	return RunFlowContext(ctx, m, FlowOptions{
+		Scheduler:      scheduler,
+		P:              spec.P,
+		K:              spec.K,
+		Arrivals:       arrivals,
+		Horizon:        secsToSim(spec.HorizonSec),
+		Seed:           spec.Seed,
+		MaxQueue:       spec.MaxQueue,
+		MaxService:     spec.MaxService,
+		FramesPerEpoch: spec.FramesPerEpoch,
+		IdleWait:       secsToSim(spec.IdleWaitSec),
+		Dynamics:       dyn,
+		Channels:       spec.Channels,
+		Metrics:        o.Metrics,
+		Trace:          o.Trace,
+		OnEpoch:        o.OnEpoch,
+	})
+}
