@@ -9,6 +9,7 @@ package scream
 // full-size sweeps.
 
 import (
+	"io"
 	"strings"
 	"testing"
 
@@ -276,9 +277,11 @@ func BenchmarkFlowEpoch(b *testing.B) {
 
 // benchFlowEpochObs is BenchmarkFlowEpoch's scenario with observability in a
 // chosen state; the Enabled/Disabled pair quantifies the overhead of the
-// metrics substrate on the epoch driver's hot path. Disabled must stay
-// within the benchguard gate of BenchmarkFlowEpoch itself — the nil-check
-// branches are the entire cost of shipping the instrumentation.
+// metrics substrate on the epoch driver's hot path. Enabled carries the full
+// load — a live registry in every layer plus a v2 span tracer emitting to a
+// discarded stream. Disabled must stay within the benchguard gate of
+// BenchmarkFlowEpoch itself — the nil-check branches are the entire cost of
+// shipping the instrumentation.
 func benchFlowEpochObs(b *testing.B, enabled bool) {
 	m, err := NewGridMesh(GridMeshConfig{Rows: 4, Cols: 4, StepMeters: 30, Seed: 1})
 	if err != nil {
@@ -303,8 +306,10 @@ func benchFlowEpochObs(b *testing.B, enabled bool) {
 		}
 	}
 	var reg *ObsRegistry
+	var trace *ObsTracer
 	if enabled {
 		reg = NewObsRegistry()
+		trace = NewObsTracer(io.Discard)
 		EnableRuntimeMetrics(reg)
 		defer EnableRuntimeMetrics(nil) // detach the process globals for the other benchmarks
 	}
@@ -319,6 +324,7 @@ func benchFlowEpochObs(b *testing.B, enabled bool) {
 			MaxService:     8,
 			FramesPerEpoch: 8,
 			Metrics:        reg,
+			Trace:          trace,
 		})
 		if err != nil {
 			b.Fatal(err)

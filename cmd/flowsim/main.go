@@ -92,7 +92,8 @@ func main() {
 		channels  = flag.Int("channels", 1, "orthogonal data channels (1 = classic single-channel)")
 		radios    = flag.Int("radios", 1, "radio interfaces per node (max channels a node uses per slot)")
 		obsAddr   = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (e.g. :9090); the process stays up after the run until interrupted")
-		traceFile = flag.String("trace", "", "write a JSONL event trace (schema v1) to this file")
+		traceFile = flag.String("trace", "", "write a JSONL event trace (schema v2 spans; analyze with screamtrace) to this file")
+		perf      = flag.Bool("perf", false, "sample wall-clock durations of the schedule-build and epoch hot paths into scream_perf_* histograms (adds wall_ns to trace spans; results stay deterministic, trace bytes do not)")
 		version   = flag.Bool("version", false, "print version and exit")
 		dyn       dynFlags
 	)
@@ -112,10 +113,10 @@ func main() {
 	if *scenario != "" {
 		var spec scream.ScenarioSpec
 		if spec, err = scream.LoadScenario(*scenario); err == nil {
-			err = execute(spec, *obsAddr, *traceFile)
+			err = execute(spec, *obsAddr, *traceFile, *perf)
 		}
 	} else {
-		err = run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *channels, *radios, *seed, *obsAddr, *traceFile, dyn)
+		err = run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *channels, *radios, *seed, *obsAddr, *traceFile, *perf, dyn)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowsim:", err)
@@ -125,7 +126,7 @@ func main() {
 
 // run assembles a ScenarioSpec from the command line — the flag surface is a
 // flat view of the same document -scenario loads whole.
-func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue, channels, radios int, seed int64, obsAddr, traceFile string, dyn dynFlags) error {
+func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue, channels, radios int, seed int64, obsAddr, traceFile string, perf bool, dyn dynFlags) error {
 	if channels < 1 {
 		return fmt.Errorf("need at least 1 channel, got %d", channels)
 	}
@@ -158,13 +159,13 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 			MoveIntervalSec: dyn.moveInt,
 		}
 	}
-	return execute(spec, obsAddr, traceFile)
+	return execute(spec, obsAddr, traceFile, perf)
 }
 
 // execute runs one scenario and reports it — the shared tail of the flag and
 // -scenario paths. The simulation itself is exactly scream.RunWith, the same
 // entrypoint the screamd daemon serves.
-func execute(spec scream.ScenarioSpec, obsAddr, traceFile string) error {
+func execute(spec scream.ScenarioSpec, obsAddr, traceFile string, perf bool) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
@@ -224,10 +225,17 @@ func execute(spec scream.ScenarioSpec, obsAddr, traceFile string) error {
 	}
 	fmt.Println()
 
+	if perf && reg == nil {
+		// -perf without -obs: the scream_perf_* histograms still need a
+		// registry to land in (and the run keeps its wall_ns trace samples);
+		// a private one avoids touching process-global state.
+		reg = scream.NewObsRegistry()
+	}
 	res, err := scream.RunWith(context.Background(), spec, scream.RunOptions{
 		Mesh:    mesh,
 		Metrics: reg,
 		Trace:   tracer,
+		Perf:    perf,
 	})
 	if err != nil {
 		return err

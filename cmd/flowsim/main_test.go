@@ -6,31 +6,32 @@ import (
 	"testing"
 
 	"scream"
+	"scream/internal/tracecheck"
 )
 
 // Small meshes and short horizons: these exercise the full CLI path, not the
 // physics (internal/flow owns those assertions).
 
 func TestRunGreedyCBR(t *testing.T) {
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFDDPoisson(t *testing.T) {
-	if err := run(4, 4, 30, 0, "fdd", 0.8, "poisson", 0.5, 0.5, 16, 8, 0, 1, 1, 2, "", "", dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "fdd", 0.8, "poisson", 0.5, 0.5, 16, 8, 0, 1, 1, 2, "", "", false, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPDDBursty(t *testing.T) {
-	if err := run(4, 4, 30, 0, "pdd", 0.6, "bursty", 0.5, 0.5, 16, 8, 0, 1, 1, 3, "", "", dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "pdd", 0.6, "bursty", 0.5, 0.5, 16, 8, 0, 1, 1, 3, "", "", false, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTDMAZipf(t *testing.T) {
-	if err := run(4, 4, 30, 0, "tdma", 0.8, "zipf", 0.5, 0.3, 8, 8, 16, 1, 1, 4, "", "", dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "tdma", 0.8, "zipf", 0.5, 0.3, 8, 8, 16, 1, 1, 4, "", "", false, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,7 +39,7 @@ func TestRunTDMAZipf(t *testing.T) {
 func TestRunMultiChannel(t *testing.T) {
 	// Every scheduler over 3 channels with 2 radios per node.
 	for _, sched := range []string{"greedy", "fdd", "pdd", "tdma"} {
-		if err := run(4, 4, 30, 0, sched, 0.8, "poisson", 1.5, 0.4, 16, 8, 0, 3, 2, 8, "", "", dynFlags{mobility: "none"}); err != nil {
+		if err := run(4, 4, 30, 0, sched, 0.8, "poisson", 1.5, 0.4, 16, 8, 0, 3, 2, 8, "", "", false, dynFlags{mobility: "none"}); err != nil {
 			t.Fatalf("%s: %v", sched, err)
 		}
 	}
@@ -46,33 +47,63 @@ func TestRunMultiChannel(t *testing.T) {
 
 func TestRunChurn(t *testing.T) {
 	d := dynFlags{failRate: 2, downtime: 0.1, mobility: "none"}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "poisson", 0.5, 0.4, 8, 8, 0, 1, 1, 5, "", "", d); err != nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "poisson", 0.5, 0.4, 8, 8, 0, 1, 1, 5, "", "", false, d); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMobility(t *testing.T) {
 	d := dynFlags{mobility: "waypoint", speed: 10, pause: 0.05, moveInt: 0.05}
-	if err := run(4, 4, 30, 0, "tdma", 0.8, "cbr", 0.5, 0.4, 8, 8, 0, 1, 1, 6, "", "", d); err != nil {
+	if err := run(4, 4, 30, 0, "tdma", 0.8, "cbr", 0.5, 0.4, 8, 8, 0, 1, 1, 6, "", "", false, d); err != nil {
 		t.Fatal(err)
 	}
 	d = dynFlags{mobility: "drift", speed: 5, moveInt: 0.05}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.4, 8, 8, 0, 1, 1, 7, "", "", d); err != nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.4, 8, 8, 0, 1, 1, 7, "", "", false, d); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTraceFile(t *testing.T) {
 	out := t.TempDir() + "/trace.jsonl"
-	if err := run(4, 4, 30, 0, "fdd", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", out, dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "fdd", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", out, false, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(b, []byte(`{"v":1,"ev":"run_start"`)) {
-		t.Fatalf("trace does not start with a v1 run_start event: %.80s", b)
+	if !bytes.HasPrefix(b, []byte(`{"v":2,"ev":"span_begin"`)) {
+		t.Fatalf("trace does not start with a v2 run span: %.80s", b)
+	}
+	events, err := tracecheck.Parse(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := tracecheck.Validate(events); len(vs) > 0 {
+		t.Fatalf("trace violates invariants: %v", vs)
+	}
+}
+
+// TestRunPerfTrace: -perf adds wall_ns sampling without breaking any trace
+// invariant.
+func TestRunPerfTrace(t *testing.T) {
+	out := t.TempDir() + "/trace_perf.jsonl"
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", out, true, dynFlags{mobility: "none"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"wall_ns":`)) {
+		t.Fatal("perf-enabled trace has no wall_ns samples")
+	}
+	events, err := tracecheck.Parse(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := tracecheck.Validate(events); len(vs) > 0 {
+		t.Fatalf("perf trace violates invariants: %v", vs)
 	}
 }
 
@@ -90,7 +121,7 @@ func TestRunScenarioFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := execute(spec, "", ""); err != nil {
+	if err := execute(spec, "", "", false); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(path, []byte(`{"horizon_secs":1}`), 0o644); err != nil {
@@ -103,25 +134,25 @@ func TestRunScenarioFile(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	none := dynFlags{mobility: "none"}
-	if err := run(4, 4, 30, 0, "astrology", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", none); err == nil {
+	if err := run(4, 4, 30, 0, "astrology", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, none); err == nil {
 		t.Error("unknown scheduler should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "telepathy", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", none); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "telepathy", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, none); err == nil {
 		t.Error("unknown arrival process should fail")
 	}
-	if err := run(0, 0, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", none); err == nil {
+	if err := run(0, 0, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, none); err == nil {
 		t.Error("invalid grid should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0, 8, 8, 0, 1, 1, 1, "", "", none); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0, 8, 8, 0, 1, 1, 1, "", "", false, none); err == nil {
 		t.Error("zero horizon should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 0, 0, 1, "", "", none); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 0, 0, 1, "", "", false, none); err == nil {
 		t.Error("zero channel count should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", dynFlags{failRate: 1, mobility: "levitation"}); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, dynFlags{failRate: 1, mobility: "levitation"}); err == nil {
 		t.Error("unknown mobility model should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", dynFlags{failRate: -2, mobility: "none"}); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, dynFlags{failRate: -2, mobility: "none"}); err == nil {
 		t.Error("negative fail rate should fail, not silently disable churn")
 	}
 }

@@ -8,14 +8,23 @@
 //
 // Endpoints:
 //
-//	GET  /healthz            liveness probe
-//	GET  /version            build version
-//	GET  /metrics            Prometheus text exposition (scream_serve_*,
-//	                         scream_flow_*, scream_core_*, ...)
-//	GET  /api/v1/schedulers  the scheduler registry
-//	GET  /api/v1/scenarios   preloaded scenario specs
-//	GET  /api/v1/sessions    currently running sessions
-//	POST /api/v1/run         run a scenario, streaming epochs
+//	GET  /healthz                     liveness probe
+//	GET  /version                     build version
+//	GET  /metrics                     Prometheus text exposition (scream_serve_*,
+//	                                  scream_flow_*, scream_core_*, ...)
+//	GET  /api/v1/metrics              the same registry as a JSON snapshot
+//	GET  /api/v1/schedulers           the scheduler registry
+//	GET  /api/v1/scenarios            preloaded scenario specs
+//	GET  /api/v1/sessions             currently running sessions
+//	GET  /api/v1/sessions/{id}/trace  the session's captured schema-v2 trace
+//	                                  (JSONL; pipe into screamtrace)
+//	POST /api/v1/run                  run a scenario, streaming epochs
+//
+// Every session's event trace is captured in a bounded in-memory ring
+// (-trace-bytes per session, default 1 MiB, -1 to disable) and stays
+// fetchable for a while after the run ends:
+//
+//	curl -s localhost:8080/api/v1/sessions/3/trace | screamtrace validate
 //
 // Concurrency is admission-controlled: at most -max-sessions simulations run
 // at once, and further requests are refused with 429. SIGINT/SIGTERM drains
@@ -52,6 +61,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		maxSessions = flag.Int("max-sessions", serve.DefaultMaxSessions, "concurrent simulation sessions (further runs get 429)")
 		scenarios   = flag.String("scenarios", "", "comma-separated scenario JSON files to preload (each run then clones the prebuilt mesh)")
+		traceBytes  = flag.Int("trace-bytes", 0, "per-session trace capture budget in bytes for /api/v1/sessions/{id}/trace (0 = 1 MiB default, -1 disables capture)")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget before running sessions are canceled")
 		version     = flag.Bool("version", false, "print version and exit")
 	)
@@ -60,13 +70,13 @@ func main() {
 		fmt.Println(buildinfo.Version())
 		return
 	}
-	if err := run(*addr, *maxSessions, *scenarios, *drain); err != nil {
+	if err := run(*addr, *maxSessions, *scenarios, *traceBytes, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "screamd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxSessions int, scenarioFiles string, drain time.Duration) error {
+func run(addr string, maxSessions int, scenarioFiles string, traceBytes int, drain time.Duration) error {
 	// One registry for everything: the daemon's serve_* session metrics,
 	// per-run flow counters, and the process-global phys/sched
 	// instrumentation points.
@@ -91,6 +101,7 @@ func run(addr string, maxSessions int, scenarioFiles string, drain time.Duration
 		Scenarios:   specs,
 		MaxSessions: maxSessions,
 		Metrics:     reg,
+		TraceBytes:  traceBytes,
 		Version:     buildinfo.Version(),
 	})
 	if err != nil {

@@ -1,0 +1,160 @@
+// Command screamtrace analyzes schema-v2 JSONL traces produced by flowsim
+// -trace and the screamd per-session capture endpoint
+// (/api/v1/sessions/{id}/trace).
+//
+// Subcommands:
+//
+//	screamtrace validate trace.jsonl
+//	    Checks the schema and replays the run's invariants offline from the
+//	    trace alone: span begin/end pairing and the run ▸ epoch ▸
+//	    schedule_build ▸ slot hierarchy, packet conservation
+//	    (offered == delivered + dropped + lost + backlog), monotone
+//	    cumulative epoch counters, and the protocol timing identity
+//	    (exec == screams_measured*k*scream_slot + handshakes_measured*hs_slot).
+//	    Exits 1 listing every violation.
+//
+//	screamtrace summarize trace.jsonl
+//	    Prints event counts, the run's packet ledger and delay percentiles,
+//	    and a per-epoch table (demand, slots, control time, delivered,
+//	    backlog, goodput).
+//
+//	screamtrace chrome [-o out.json] trace.jsonl
+//	    Converts the trace to Chrome trace-event JSON. Open the output in
+//	    Perfetto (https://ui.perfetto.dev) or chrome://tracing to see the
+//	    run as a flame timeline: epochs and schedule builds as nested spans,
+//	    handshakes and protocol summaries as instants.
+//
+// The input path "-" (or no path) reads stdin, so captured session traces
+// pipe straight through:
+//
+//	curl -s localhost:8080/api/v1/sessions/3/trace | screamtrace validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scream/internal/buildinfo"
+	"scream/internal/tracecheck"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "-version", "--version", "version":
+		fmt.Println(buildinfo.Version())
+		return
+	}
+	if err := dispatch(args[0], args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "screamtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: screamtrace <command> [trace.jsonl]
+
+commands:
+  validate   check schema and replay run invariants; exit 1 on violations
+  summarize  print event counts, packet ledger and per-epoch table
+  chrome     convert to Chrome trace-event JSON for Perfetto ([-o out.json] before the path)
+  version    print version and exit
+
+The trace path "-" (or none) reads stdin.
+`)
+}
+
+func dispatch(cmd string, args []string) error {
+	switch cmd {
+	case "validate":
+		return runValidate(args)
+	case "summarize":
+		return runSummarize(args)
+	case "chrome":
+		return runChrome(args)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// load parses the trace named by the first non-flag argument ("-"/none =
+// stdin).
+func load(args []string) ([]tracecheck.Event, error) {
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if len(args) > 0 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r, name = f, args[0]
+	}
+	events, err := tracecheck.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("%s: empty trace", name)
+	}
+	return events, nil
+}
+
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "suppress the OK line")
+	fs.Parse(args)
+	events, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	if vs := tracecheck.Validate(events); len(vs) > 0 {
+		for _, v := range vs {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		return fmt.Errorf("%d invariant violation(s) in %d events", len(vs), len(events))
+	}
+	if !*quiet {
+		fmt.Printf("ok: %d events, all invariants hold\n", len(events))
+	}
+	return nil
+}
+
+func runSummarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	fs.Parse(args)
+	events, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	return tracecheck.Summarize(events).WriteText(os.Stdout)
+}
+
+func runChrome(args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	events, err := load(fs.Args())
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tracecheck.Chrome(events, w)
+}

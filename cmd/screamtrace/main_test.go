@@ -1,0 +1,101 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"scream"
+)
+
+// writeTrace runs a small scenario with tracing and returns the trace path.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := t.TempDir() + "/trace.jsonl"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr := scream.NewObsTracer(f)
+	spec := scream.ScenarioSpec{
+		Topology:       scream.TopologySpec{Kind: "grid", Rows: 4, Cols: 4, StepMeters: 30},
+		Traffic:        scream.TrafficSpec{Kind: "cbr", Load: 0.5},
+		Scheduler:      "fdd",
+		HorizonSec:     0.3,
+		Seed:           1,
+		FramesPerEpoch: 8,
+		MaxService:     8,
+	}
+	if _, err := scream.RunWith(context.Background(), spec, scream.RunOptions{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateSummarizeChrome(t *testing.T) {
+	path := writeTrace(t)
+	if err := runValidate([]string{"-q", path}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if err := runSummarize([]string{path}); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	out := t.TempDir() + "/trace.chrome.json"
+	if err := runChrome([]string{"-o", out, path}); err != nil {
+		t.Fatalf("chrome: %v", err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("chrome output not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome output has no events")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	path := writeTrace(t)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the final line (the run span_end): an unclosed run span and a
+	// missing conservation ledger must fail validation.
+	i := len(b) - 2
+	for i > 0 && b[i] != '\n' {
+		i--
+	}
+	if err := os.WriteFile(path, b[:i+1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runValidate([]string{"-q", path}); err == nil {
+		t.Fatal("validate accepted a truncated trace")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := load([]string{"/nonexistent/trace.jsonl"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := t.TempDir() + "/empty.jsonl"
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load([]string{empty}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if err := dispatch("transmogrify", nil); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}

@@ -104,10 +104,18 @@ type FlowOptions struct {
 	// EnableRuntimeMetrics — still nil by default, costing nothing.
 	// Metrics are write-only; enabling them never changes a result.
 	Metrics *ObsRegistry
-	// Trace, when non-nil, receives structured JSONL events (run/epoch
-	// boundaries, protocol handshakes and slot seals, churn and repair),
-	// timestamped in simulated ticks.
+	// Trace, when non-nil, receives structured JSONL events — the schema-v2
+	// span hierarchy (run ▸ epoch ▸ schedule_build ▸ slot) plus point events
+	// (protocol handshakes, churn and repair) — timestamped in simulated
+	// ticks.
 	Trace *ObsTracer
+	// Perf opts into wall-clock sampling of the run's hot paths: each
+	// schedule build and each epoch drive is timed into scream_perf_*
+	// histograms in the effective registry, and span_end trace lines gain a
+	// sampled wall_ns field. Samples are write-only — simulated results stay
+	// bit-identical — but the trace bytes stop being deterministic, so
+	// golden-trace comparisons must keep this off.
+	Perf bool
 	// OnEpoch, when non-nil, is called synchronously after every built
 	// epoch's data phase with a progress snapshot — the streaming hook.
 	// The callback must treat the update as read-only; it cannot change
@@ -313,6 +321,10 @@ func RunFlowContext(ctx context.Context, m *Mesh, opts FlowOptions) (*FlowResult
 		Metrics:        metrics,
 		Trace:          trace,
 		OnEpoch:        opts.OnEpoch,
+	}
+	if opts.Perf {
+		cfg.Perf = obs.NewPerf(metrics, scheduler.Name)
+		trace.EnableWallClock(nil) // nil-safe; WallNow
 	}
 	if ctx != nil && ctx.Done() != nil {
 		cfg.Ctx = ctx

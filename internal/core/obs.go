@@ -78,12 +78,74 @@ func publishRun(cfg *Config, res *Result, before backendSnapshot) {
 	}
 }
 
-// traceEmit forwards to cfg.Trace (nil-safe); t is the backend's elapsed
-// simulated time in ticks at the moment of the event.
+// traceTick is the absolute simulated time of a trace event: the backend's
+// elapsed clock (which restarts at zero for every run — flow clones a fresh
+// backend per epoch) plus the tracer's time base, which the flow driver sets
+// to the epoch's absolute start tick before each build. Direct core.Run
+// callers get base 0, i.e. run-relative timestamps, exactly as in schema v1.
+func (p *protoRun) traceTick() int64 {
+	return p.cfg.Trace.TimeBase() + int64(p.cfg.Backend.Elapsed())
+}
+
+// traceEmit forwards a point event to cfg.Trace (nil-safe), timestamped at
+// the current absolute simulated time with the current round attached.
 func (p *protoRun) traceEmit(ev string, fields ...obs.Field) {
 	if p.cfg.Trace == nil {
 		return
 	}
-	base := []obs.Field{obs.I("t", int64(p.cfg.Backend.Elapsed())), obs.N("round", p.round)}
+	base := []obs.Field{obs.I("t", p.traceTick()), obs.N("round", p.round)}
 	p.cfg.Trace.Emit(ev, append(base, fields...)...)
+}
+
+// beginSlot opens the per-round "slot" span covering one slot's greedy
+// construction through its seal. Returns 0 (a no-op handle) when tracing is
+// disabled.
+func (p *protoRun) beginSlot() obs.SpanID {
+	if p.cfg.Trace == nil {
+		return 0
+	}
+	return p.cfg.Trace.Begin("slot", p.traceTick(), obs.N("round", p.round))
+}
+
+// endSlot closes a round's slot span at seal time, recording how many links
+// the sealed slot carries.
+func (p *protoRun) endSlot(id obs.SpanID, links int) {
+	if p.cfg.Trace == nil {
+		return
+	}
+	p.cfg.Trace.End(id, p.traceTick(), obs.N("links", links))
+}
+
+// traceProtocol emits the run-level "protocol" instant: the analytic
+// accounting (rounds, steps, screams, exec ticks) plus — when the backend
+// is measurable — the backend's executed primitive counts and K. Carrying
+// both views in the trace is what lets `screamtrace validate` re-derive the
+// exec-tick timing identity
+//
+//	exec == screams_measured*k*scream_slot + handshakes_measured*hs_slot
+//
+// offline, with the per-primitive slot costs taken from the enclosing flow
+// run span.
+func traceProtocol(cfg *Config, res *Result, before backendSnapshot) {
+	if cfg.Trace == nil {
+		return
+	}
+	fields := []obs.Field{
+		obs.I("t", cfg.Trace.TimeBase()+int64(res.ExecTime)),
+		obs.S("variant", cfg.Variant.String()),
+		obs.N("rounds", res.Rounds),
+		obs.N("steps", res.Steps),
+		obs.N("elections", res.Elections),
+		obs.N("screams", res.Screams),
+		obs.I("exec", int64(res.ExecTime)),
+	}
+	if before.ok {
+		mb := cfg.Backend.(MeasuredBackend)
+		fields = append(fields,
+			obs.N("screams_measured", mb.ScreamCount()-before.screams),
+			obs.N("handshakes_measured", mb.HandshakeCount()-before.handshakes),
+			obs.N("k", mb.K()),
+		)
+	}
+	cfg.Trace.Emit("protocol", fields...)
 }

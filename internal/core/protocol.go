@@ -283,6 +283,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	publishRun(&cfg, res, before)
+	traceProtocol(&cfg, res, before)
 	return res, nil
 }
 
@@ -342,6 +343,8 @@ func (p *protoRun) runSingle() (*Result, error) {
 			p.traceEmit("controller_elected", obs.N("node", controller))
 			setState(controller, Control)
 		}
+
+		slotSpan := p.beginSlot()
 
 		// GreedyScheduleSlot: reset non-complete, non-control nodes.
 		for u := 0; u < n; u++ {
@@ -467,7 +470,7 @@ func (p *protoRun) runSingle() (*Result, error) {
 		if cfg.Observer.SlotSealed != nil {
 			cfg.Observer.SlotSealed(p.round, slot)
 		}
-		p.traceEmit("slot_sealed", obs.N("links", len(slot)))
+		p.endSlot(slotSpan, len(slot))
 
 		// Control-release SCREAM: the controller announces whether its
 		// demand is now satisfied.

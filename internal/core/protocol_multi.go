@@ -87,6 +87,8 @@ func (p *protoRun) runMulti() (*Result, error) {
 			setState(controller, Control)
 		}
 
+		slotSpan := p.beginSlot()
+
 		// GreedyScheduleSlot: reset non-complete, non-control nodes and the
 		// slot's channel bookkeeping. The controller's link occupies channel
 		// 0 (the control channel it already owns the floor on) from the
@@ -247,7 +249,7 @@ func (p *protoRun) runMulti() (*Result, error) {
 		if cfg.Observer.SlotSealed != nil {
 			cfg.Observer.SlotSealed(p.round, slot)
 		}
-		p.traceEmit("slot_sealed", obs.N("links", len(slot)))
+		p.endSlot(slotSpan, len(slot))
 
 		// Control-release SCREAM: the controller announces whether its
 		// demand is now satisfied.

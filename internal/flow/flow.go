@@ -142,9 +142,16 @@ type Config struct {
 	// delay histogram). Metrics are write-only: the simulation never reads
 	// them, so enabling them cannot change any result.
 	Metrics *obs.Registry
-	// Trace, when non-nil, receives structured run/epoch events timestamped
-	// in simulated ticks. Like Metrics, tracing is write-only.
+	// Trace, when non-nil, receives the structured run ▸ epoch ▸
+	// schedule_build ▸ slot span hierarchy (plus point events) timestamped in
+	// simulated ticks. Like Metrics, tracing is write-only.
 	Trace *obs.Tracer
+	// Perf, when non-nil, samples *wall-clock* durations of the driver's hot
+	// paths — each schedule build and each full epoch — into the
+	// scream_perf_* histograms. Samples are write-only (no simulation
+	// decision reads a wall-clock value), so results stay deterministic; a
+	// nil Perf is the zero-cost disabled path.
+	Perf *obs.Perf
 
 	// Ctx, when non-nil, bounds the run in *wall-clock* terms: it is checked
 	// once per driver cycle (epoch boundary), and a canceled context aborts
@@ -406,10 +413,17 @@ func Run(cfg Config) (*Result, error) {
 		mreg = obs.Default()
 	}
 	m := newFlowObs(mreg)
+	// The run span is the root of the trace. Its begin line carries the
+	// static run parameters plus the per-primitive slot costs
+	// (scream_slot, hs_slot) — the constants `screamtrace validate` needs to
+	// re-derive the protocol timing identity offline from the trace alone.
+	var runSpan obs.SpanID
 	if cfg.Trace != nil {
-		cfg.Trace.Emit("run_start",
-			obs.I("t", 0), obs.N("nodes", n), obs.N("links", len(cfg.Links)),
-			obs.S("sched", cfg.Scheduler.Name), obs.I("horizon", int64(cfg.Horizon)))
+		runSpan = cfg.Trace.Begin("run", 0,
+			obs.N("nodes", n), obs.N("links", len(cfg.Links)),
+			obs.S("sched", cfg.Scheduler.Name), obs.I("horizon", int64(cfg.Horizon)),
+			obs.I("scream_slot", int64(tm.ScreamSlot())),
+			obs.I("hs_slot", int64(tm.HandshakeSlot())))
 	}
 
 	// enqueue admits p to node u's queue, honoring the cap. It reports
@@ -626,6 +640,9 @@ func Run(cfg Config) (*Result, error) {
 		// replaying the last schedule it disseminated, for free.
 		var s *sched.Schedule
 		built := false
+		builtEpoch := false
+		var epochSpan obs.SpanID
+		var perfStart int64
 		if pendingRebind {
 			res.ControlDownEpochs++
 			m.ctrlDownEp.Inc()
@@ -652,13 +669,36 @@ func Run(cfg Config) (*Result, error) {
 					demands[i] = cfg.MaxService
 				}
 			}
+			demand := 0
+			if cfg.Trace != nil || cfg.OnEpoch != nil {
+				for _, d := range demands {
+					demand += d
+				}
+			}
+			// The epoch span covers this whole control+data cycle; the nested
+			// schedule_build span covers just the control phase. The tracer's
+			// time base is set to the epoch's absolute start so the protocol
+			// layer's events (whose backend clock restarts at zero per build)
+			// land at absolute simulated time inside the build span.
+			var buildSpan obs.SpanID
+			if cfg.Trace != nil {
+				epochSpan = cfg.Trace.Begin("epoch", int64(now),
+					obs.N("epoch", res.Epochs), obs.N("backlog", backlog),
+					obs.N("demand", demand))
+				buildSpan = cfg.Trace.Begin("schedule_build", int64(now),
+					obs.S("sched", cfg.Scheduler.Name))
+				cfg.Trace.SetTimeBase(int64(now))
+			}
+			perfStart = cfg.Perf.Start()
 			var ctrl des.Time
 			var err error
 			s, ctrl, err = cfg.Scheduler.Build(demands, res.Epochs)
+			cfg.Perf.Build(perfStart)
 			if err != nil {
 				return nil, fmt.Errorf("flow: epoch %d (%s): %w", res.Epochs, cfg.Scheduler.Name, err)
 			}
 			res.Epochs++
+			builtEpoch = true
 			if ctrl < 0 {
 				return nil, fmt.Errorf("flow: negative control cost %v", ctrl)
 			}
@@ -672,26 +712,18 @@ func Run(cfg Config) (*Result, error) {
 			m.epochs.Inc()
 			m.controlTicks.Add(int64(eng.Now() - now))
 			m.schedSlots.Set(int64(s.Length()))
-			if cfg.Trace != nil || cfg.OnEpoch != nil {
-				demand := 0
-				for _, d := range demands {
-					demand += d
-				}
-				if cfg.Trace != nil {
-					cfg.Trace.Emit("epoch",
-						obs.I("t", int64(eng.Now())), obs.N("epoch", res.Epochs-1),
-						obs.N("backlog", backlog), obs.N("demand", demand),
-						obs.N("slots", s.Length()), obs.I("ctrl", int64(eng.Now()-now)))
-				}
-				if cfg.OnEpoch != nil {
-					built = true
-					update = EpochUpdate{
-						Epoch:    res.Epochs - 1,
-						Demand:   demand,
-						Slots:    s.Length(),
-						Control:  eng.Now() - now,
-						Schedule: s,
-					}
+			if cfg.Trace != nil {
+				cfg.Trace.End(buildSpan, int64(eng.Now()),
+					obs.N("slots", s.Length()), obs.I("ctrl", int64(eng.Now()-now)))
+			}
+			if cfg.OnEpoch != nil {
+				built = true
+				update = EpochUpdate{
+					Epoch:    res.Epochs - 1,
+					Demand:   demand,
+					Slots:    s.Length(),
+					Control:  eng.Now() - now,
+					Schedule: s,
 				}
 			}
 		}
@@ -754,6 +786,17 @@ func Run(cfg Config) (*Result, error) {
 		checkRecovery()
 		m.backlog.Set(int64(backlog))
 		m.backlogPeak.Max(int64(peak))
+		if builtEpoch {
+			// The epoch's data phase is drained: close the span with the
+			// cumulative run counters (monotone across epoch ends — one of
+			// the invariants `screamtrace validate` replays offline).
+			if cfg.Trace != nil {
+				cfg.Trace.End(epochSpan, int64(eng.Now()),
+					obs.N("offered", res.Offered), obs.N("delivered", res.Delivered),
+					obs.N("dropped", res.Dropped), obs.N("backlog", backlog))
+			}
+			cfg.Perf.Epoch(perfStart)
+		}
 		if built {
 			// The data phase is over: complete the snapshot with the state
 			// the epoch left behind and hand it to the streaming caller.
@@ -795,12 +838,6 @@ func Run(cfg Config) (*Result, error) {
 	res.PeakBacklog = peak
 	m.backlog.Set(int64(backlog))
 	m.backlogPeak.Max(int64(peak))
-	if cfg.Trace != nil {
-		cfg.Trace.Emit("run_end",
-			obs.I("t", int64(eng.Now())), obs.N("offered", res.Offered),
-			obs.N("delivered", res.Delivered), obs.N("dropped", res.Dropped),
-			obs.N("backlog", backlog), obs.N("epochs", res.Epochs))
-	}
 	res.PeakBacklogDuringOutage = peakOutage
 	if delay.N() > 0 {
 		res.DelayMean = des.FromSeconds(delay.Mean())
@@ -811,6 +848,16 @@ func Run(cfg Config) (*Result, error) {
 		res.GoodputPps = float64(res.Delivered) / sec
 		res.GoodputBps = float64(res.Delivered*tm.DataBytes*8) / sec
 		res.ControlFraction = res.ControlTime.Seconds() / sec
+	}
+	// The run span closes last, carrying the packet-conservation ledger
+	// (offered == delivered + dropped + lost + backlog — the PR 7 invariant,
+	// now checkable offline from the trace alone) and the delay percentiles.
+	if cfg.Trace != nil {
+		cfg.Trace.End(runSpan, int64(eng.Now()),
+			obs.N("offered", res.Offered), obs.N("delivered", res.Delivered),
+			obs.N("dropped", res.Dropped), obs.N("lost", res.LostOnFailure),
+			obs.N("backlog", backlog), obs.N("epochs", res.Epochs),
+			obs.I("delay_p50", int64(res.DelayP50)), obs.I("delay_p95", int64(res.DelayP95)))
 	}
 	return res, nil
 }

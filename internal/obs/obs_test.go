@@ -183,6 +183,78 @@ func TestHistogramLabeledSeries(t *testing.T) {
 	}
 }
 
+// TestGaugeMaxConcurrent races Max against itself and against Set from many
+// goroutines (run under -race in CI): the CAS loop must converge on the true
+// maximum — a lost update would surface as a smaller final value.
+func TestGaugeMaxConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak", "")
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Max(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := g.Value(), int64(workers*perWorker-1); got != want {
+		t.Fatalf("gauge after concurrent Max = %d, want %d", got, want)
+	}
+	// Monotone even when racing with lower proposals afterwards.
+	g.Max(5)
+	if g.Value() != int64(workers*perWorker-1) {
+		t.Fatal("Max regressed below the observed peak")
+	}
+}
+
+// TestHistogramBucketsConformance checks Buckets() against the Prometheus
+// text-format histogram semantics: `le` is inclusive, counts are cumulative
+// and non-decreasing, the +Inf bucket equals the observation count, and the
+// exposition renders exactly those numbers.
+func TestHistogramBucketsConformance(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.01, 0.1, 1})
+	obsv := []float64{0.01, 0.01, 0.05, 0.1, 0.7, 3, 42} // boundary values on purpose
+	for _, v := range obsv {
+		h.Observe(v)
+	}
+	upper, cum := h.Buckets()
+	if len(upper) != 4 || !math.IsInf(upper[3], 1) {
+		t.Fatalf("upper = %v, want trailing +Inf", upper)
+	}
+	wantCum := []int64{2, 4, 5, 7} // le-inclusive boundaries
+	for i := range wantCum {
+		if cum[i] != wantCum[i] {
+			t.Fatalf("cum[%d] = %d, want %d (le=%g)", i, cum[i], wantCum[i], upper[i])
+		}
+		if i > 0 && cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts decreased at bucket %d", i)
+		}
+	}
+	if cum[3] != h.Count() {
+		t.Fatalf("+Inf bucket %d != count %d", cum[3], h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 4`,
+		`lat_seconds_bucket{le="1"} 5`,
+		`lat_seconds_bucket{le="+Inf"} 7`,
+		`lat_seconds_count 7`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
 func TestDefaultRegistry(t *testing.T) {
 	if Default() != nil {
 		t.Fatal("default registry must start nil")

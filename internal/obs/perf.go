@@ -1,0 +1,108 @@
+package obs
+
+// Wall-clock performance sampling. Everything else in the observability
+// layer counts *simulated* ticks, which is what keeps results deterministic;
+// the Perf sampler is the one deliberate exception — it measures how much
+// real time the simulator's own hot paths cost (the schedule build, the
+// epoch drive), which is the quantity the 10^4–10^5-node scale work has to
+// optimize. Sampling is an explicit opt-in (flowsim -perf): a nil *Perf is
+// the disabled path, one predictable branch per call site and zero
+// allocations, and the samples are write-only — no simulation decision ever
+// reads a wall-clock value, so results stay bit-identical with sampling on.
+
+// PerfBuckets is the fixed bucket layout for wall-clock duration histograms,
+// in seconds: 1 µs to 10 s on a 1-2-5 grid — wide enough to cover a
+// microsecond greedy build and a multi-second 10^5-node epoch in one layout.
+func PerfBuckets() []float64 {
+	return []float64{
+		1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+		1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5, 1, 2, 5, 10,
+	}
+}
+
+// Perf samples wall-clock durations of the flow driver's hot paths into
+// scream_perf_* histograms. A nil *Perf disables sampling at zero cost.
+type Perf struct {
+	now   func() int64
+	build *Histogram // scream_perf_build_seconds{sched=...}
+	epoch *Histogram // scream_perf_epoch_seconds{sched=...}
+}
+
+// NewPerf registers the perf histograms for one run's scheduler in r and
+// returns the sampler. A nil registry returns a nil sampler (the disabled
+// path); sched labels the series so multi-tenant runs stay attributable.
+func NewPerf(r *Registry, sched string) *Perf {
+	if r == nil {
+		return nil
+	}
+	label := Labels("sched", sched)
+	return &Perf{
+		now: WallNow,
+		build: r.Histogram("scream_perf_build_seconds"+label,
+			"wall-clock duration of one epoch's schedule build (control phase)", PerfBuckets()),
+		epoch: r.Histogram("scream_perf_epoch_seconds"+label,
+			"wall-clock duration of one full driver epoch (control + data phases)", PerfBuckets()),
+	}
+}
+
+// Start returns the current wall clock in nanoseconds (0 for nil), the
+// handle passed back to Build/Epoch.
+func (p *Perf) Start() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.now()
+}
+
+// Build records one schedule-build duration from its Start handle.
+func (p *Perf) Build(start int64) {
+	if p == nil {
+		return
+	}
+	p.build.Observe(float64(p.now()-start) / 1e9)
+}
+
+// Epoch records one full driver-epoch duration from its Start handle.
+func (p *Perf) Epoch(start int64) {
+	if p == nil {
+		return
+	}
+	p.epoch.Observe(float64(p.now()-start) / 1e9)
+}
+
+// Labels renders alternating key/value pairs as a Prometheus label suffix,
+// e.g. Labels("sched", "greedy") == `{sched="greedy"}`. The registry's flat
+// name-keyed model carries labeled series by making the suffix part of the
+// metric name; values are escaped, keys must be valid label identifiers.
+func Labels(kv ...string) string {
+	out := []byte{'{'}
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, kv[i]...)
+		out = append(out, '=', '"')
+		out = append(out, labelEscape(kv[i+1])...)
+		out = append(out, '"')
+	}
+	return string(append(out, '}'))
+}
+
+// labelEscape makes s safe for embedding in a Prometheus label value:
+// backslashes and double quotes are escaped, newlines become \n.
+func labelEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// HistogramSnapshot is the JSON shape of one histogram in a registry
+// snapshot: cumulative bucket counts (le is the upper bound, "+Inf" last),
+// plus the observation count and value sum.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    string `json:"le"` // formatted upper bound; "+Inf" for the last
+	Count int64  `json:"count"`
+}
+
+// Snapshot is a point-in-time JSON view of a registry — the machine-readable
+// twin of the Prometheus text exposition, served by screamd at
+// /api/v1/metrics. Map keys are the full metric names including any embedded
+// {label="..."} suffix; encoding/json sorts map keys, so the document is
+// deterministic for a given registry state.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// TakeSnapshot captures every registered metric's current value. A nil
+// registry yields an empty (but non-nil-field) snapshot.
+func (r *Registry) TakeSnapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	for _, m := range r.snapshot() {
+		switch m.kind {
+		case kindCounter:
+			snap.Counters[m.name] = m.c.Value()
+		case kindGauge:
+			snap.Gauges[m.name] = m.g.Value()
+		case kindHistogram:
+			upper, cum := m.h.Buckets()
+			hs := HistogramSnapshot{Count: m.h.Count(), Sum: m.h.Sum()}
+			for i, ub := range upper {
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: formatFloat(ub), Count: cum[i]})
+			}
+			snap.Histograms[m.name] = hs
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as an indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.TakeSnapshot())
+}

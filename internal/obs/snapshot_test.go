@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTakeSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Add(42)
+	r.Gauge("depth", "").Set(-3)
+	h := r.Histogram("lat_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	snap := r.TakeSnapshot()
+	if snap.Counters["hits_total"] != 42 {
+		t.Fatalf("counter = %d, want 42", snap.Counters["hits_total"])
+	}
+	if snap.Gauges["depth"] != -3 {
+		t.Fatalf("gauge = %d, want -3", snap.Gauges["depth"])
+	}
+	hs, ok := snap.Histograms["lat_seconds"]
+	if !ok || hs.Count != 2 || hs.Sum != 5.05 {
+		t.Fatalf("histogram = %+v", hs)
+	}
+	// Buckets mirror the text exposition: cumulative, +Inf last.
+	if len(hs.Buckets) != 3 || hs.Buckets[2].LE != "+Inf" || hs.Buckets[2].Count != 2 {
+		t.Fatalf("buckets = %+v", hs.Buckets)
+	}
+	if hs.Buckets[0] != (BucketSnapshot{LE: "0.1", Count: 1}) {
+		t.Fatalf("bucket 0 = %+v", hs.Buckets[0])
+	}
+}
+
+func TestTakeSnapshotNilRegistry(t *testing.T) {
+	var r *Registry
+	snap := r.TakeSnapshot()
+	if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil {
+		t.Fatal("nil registry snapshot must have non-nil (empty) maps")
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteJSONRoundTrip: the document decodes back into the same snapshot
+// (the contract of screamd's /api/v1/metrics endpoint).
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`runs_total{variant="FDD"}`, "").Inc()
+	r.Gauge("k_slots", "").Set(12)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, sb.String())
+	}
+	if snap.Counters[`runs_total{variant="FDD"}`] != 1 || snap.Gauges["k_slots"] != 12 {
+		t.Fatalf("round-tripped snapshot = %+v", snap)
+	}
+}

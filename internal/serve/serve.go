@@ -9,7 +9,15 @@
 // concurrent runs never share mutable state), and individually cancelable
 // (client disconnect or server drain aborts the run via its context). The
 // daemon's own scream_serve_* metrics land in the same registry as the
-// simulation's flow/core/sched families and are exposed on /metrics.
+// simulation's flow/core/sched families and are exposed on /metrics
+// (Prometheus text) and /api/v1/metrics (JSON snapshot).
+//
+// Each session's schema-v2 trace is captured in a bounded in-memory ring
+// (Config.TraceBytes per session, never disk) and served at
+// /api/v1/sessions/{id}/trace — live snapshots while the run streams, the
+// full retained tail after it ends (completed sessions are kept for the
+// trace endpoint until doneRetention newer ones displace them). Pipe it
+// straight into the analyzer: curl .../trace | screamtrace validate.
 //
 // The package deliberately holds no scheduling logic: a streamed run is
 // exactly scream.RunWith on the same spec — byte-for-byte the result a
@@ -23,6 +31,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -45,12 +54,20 @@ type Config struct {
 	// Metrics is the registry backing /metrics and every run's simulation
 	// counters. Nil creates a private registry.
 	Metrics *scream.ObsRegistry
+	// TraceBytes bounds each session's in-memory trace capture (the ring
+	// behind /api/v1/sessions/{id}/trace). 0 means obs.DefaultRingBytes;
+	// negative disables capture entirely.
+	TraceBytes int
 	// Version is reported by /version ("" = "dev").
 	Version string
 }
 
 // DefaultMaxSessions is the admission cap when Config.MaxSessions is 0.
 const DefaultMaxSessions = 4
+
+// doneRetention is how many finished sessions keep their captured trace
+// fetchable; older ones are evicted FIFO.
+const doneRetention = 16
 
 // scenario is a preloaded spec with its prebuilt deployment.
 type scenario struct {
@@ -62,10 +79,12 @@ type scenario struct {
 type session struct {
 	id        int64
 	name      string
+	scenario  string // metric label: the scenario name, or "adhoc"
 	scheduler string
 	started   time.Time
 	epochs    atomic.Int64
 	cancel    context.CancelFunc
+	sink      *obs.RingSink // per-session trace capture; nil when disabled
 }
 
 // Server is the screamd HTTP handler. Create with New; it is safe for
@@ -78,10 +97,14 @@ type Server struct {
 	scenarios map[string]*scenario
 	names     []string
 
-	mu       sync.Mutex
-	sessions map[int64]*session
-	nextID   int64
-	draining bool
+	traceBytes int // per-session ring budget; <0 disables capture
+
+	mu        sync.Mutex
+	sessions  map[int64]*session
+	done      map[int64]*session // finished sessions retained for /trace
+	doneOrder []int64            // eviction order for done, oldest first
+	nextID    int64
+	draining  bool
 
 	mStarted   *obs.Counter
 	mCompleted *obs.Counter
@@ -89,6 +112,7 @@ type Server struct {
 	mRejected  *obs.Counter
 	mEpochs    *obs.Counter
 	mActive    *obs.Gauge
+	mDuration  *obs.Histogram
 }
 
 // New builds a Server, constructing the meshes of every preloaded scenario.
@@ -106,11 +130,13 @@ func New(cfg Config) (*Server, error) {
 		version = "dev"
 	}
 	s := &Server{
-		reg:       reg,
-		max:       max,
-		version:   version,
-		scenarios: make(map[string]*scenario),
-		sessions:  make(map[int64]*session),
+		reg:        reg,
+		max:        max,
+		version:    version,
+		traceBytes: cfg.TraceBytes,
+		scenarios:  make(map[string]*scenario),
+		sessions:   make(map[int64]*session),
+		done:       make(map[int64]*session),
 
 		mStarted:   reg.Counter("scream_serve_sessions_started_total", "simulation sessions admitted"),
 		mCompleted: reg.Counter("scream_serve_sessions_completed_total", "sessions that ran to their horizon"),
@@ -118,6 +144,9 @@ func New(cfg Config) (*Server, error) {
 		mRejected:  reg.Counter("scream_serve_sessions_rejected_total", "run requests refused at the admission cap"),
 		mEpochs:    reg.Counter("scream_serve_epochs_streamed_total", "epoch events streamed to clients"),
 		mActive:    reg.Gauge("scream_serve_sessions_active", "currently running sessions"),
+		mDuration: reg.Histogram("scream_serve_session_duration_seconds",
+			"wall-clock duration of finished sessions (completed or failed)",
+			[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60, 300, 1800, 3600}),
 	}
 	for _, spec := range cfg.Scenarios {
 		if spec.Name == "" {
@@ -144,6 +173,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/api/v1/schedulers", s.handleSchedulers)
 	mux.HandleFunc("/api/v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("/api/v1/sessions", s.handleSessions)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.handleSessionTrace)
+	mux.HandleFunc("GET /api/v1/metrics", s.handleMetricsJSON)
 	mux.HandleFunc("/api/v1/run", s.handleRun)
 	s.mux = mux
 	return s, nil
@@ -187,12 +218,20 @@ func (s *Server) admit(name, scheduler string, cancel context.CancelFunc) (*sess
 		return nil, false
 	}
 	s.nextID++
+	scenarioLabel := name
+	if scenarioLabel == "" {
+		scenarioLabel = "adhoc"
+	}
 	sess := &session{
 		id:        s.nextID,
 		name:      name,
+		scenario:  scenarioLabel,
 		scheduler: scheduler,
 		started:   time.Now(),
 		cancel:    cancel,
+	}
+	if s.traceBytes >= 0 {
+		sess.sink = obs.NewRingSink(s.traceBytes)
 	}
 	s.sessions[sess.id] = sess
 	s.mStarted.Inc()
@@ -200,12 +239,24 @@ func (s *Server) admit(name, scheduler string, cancel context.CancelFunc) (*sess
 	return sess, true
 }
 
-// release unregisters a finished session.
+// release unregisters a finished session, retaining its trace capture (when
+// enabled) so /api/v1/sessions/{id}/trace keeps working after the stream
+// ends. The retention set is bounded: beyond doneRetention finished
+// sessions, the oldest capture is evicted.
 func (s *Server) release(sess *session) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.sessions, sess.id)
 	s.mActive.Set(int64(len(s.sessions)))
+	if sess.sink == nil {
+		return
+	}
+	s.done[sess.id] = sess
+	s.doneOrder = append(s.doneOrder, sess.id)
+	for len(s.doneOrder) > doneRetention {
+		delete(s.done, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -305,25 +356,80 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release(sess)
 
+	// Per-session trace capture: the run's v2 span trace lands in the
+	// session's bounded ring, flushed after every epoch so a live GET on the
+	// trace endpoint sees whole epochs, never a torn line.
+	var tr *scream.ObsTracer
+	if sess.sink != nil {
+		tr = scream.NewObsTracer(sess.sink)
+	}
+
 	st := newStream(w, r)
 	st.send(startEvent{Type: "start", Session: sess.id, Name: spec.Name,
 		Scheduler: spec.SchedulerName(), Spec: &spec})
 	res, err := scream.RunWith(ctx, spec, scream.RunOptions{
 		Mesh:    mesh,
 		Metrics: s.reg,
+		Trace:   tr,
 		OnEpoch: func(u scream.EpochUpdate) {
 			sess.epochs.Add(1)
 			s.mEpochs.Inc()
+			tr.Flush()
 			st.send(epochEvent{Type: "epoch", Session: sess.id, EpochUpdate: u})
 		},
 	})
+	tr.Flush()
+	s.mDuration.Observe(time.Since(sess.started).Seconds())
 	if err != nil {
 		s.mFailed.Inc()
+		s.outcomeCounter(sess.scenario, "failed").Inc()
 		st.send(errorEvent{Type: "error", Session: sess.id, Error: err.Error()})
 		return
 	}
 	s.mCompleted.Inc()
+	s.outcomeCounter(sess.scenario, "completed").Inc()
 	st.send(resultEvent{Type: "result", Session: sess.id, Result: res})
+}
+
+// outcomeCounter is the per-scenario session counter for one outcome. The
+// label pair is embedded in the metric name (the registry's flat model), so
+// each (scenario, outcome) combination is its own monotone series.
+func (s *Server) outcomeCounter(scenario, outcome string) *obs.Counter {
+	return s.reg.Counter(
+		"scream_serve_scenario_sessions_total"+obs.Labels("scenario", scenario, "outcome", outcome),
+		"finished sessions by scenario and outcome (completed|failed)")
+}
+
+// handleSessionTrace serves a session's captured trace as whole-line JSONL:
+// a live (partial) snapshot while the session runs, the retained tail after
+// it finishes. X-Scream-Trace-Dropped reports ring evictions — nonzero means
+// the trace is a suffix and offline validation will flag the missing head.
+func (s *Server) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad session id %q", r.PathValue("id")))
+		return
+	}
+	s.mu.Lock()
+	sess := s.sessions[id]
+	if sess == nil {
+		sess = s.done[id]
+	}
+	s.mu.Unlock()
+	if sess == nil || sess.sink == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no captured trace for session %d", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Scream-Trace-Dropped", strconv.FormatInt(sess.sink.Dropped(), 10))
+	w.Write(sess.sink.Snapshot())
+}
+
+// handleMetricsJSON serves the registry as a JSON snapshot — the
+// machine-readable twin of the /metrics text exposition.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w)
 }
 
 // Streamed event shapes. Every line/event is one self-describing JSON object

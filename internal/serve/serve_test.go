@@ -2,9 +2,11 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -14,6 +16,8 @@ import (
 	"time"
 
 	"scream"
+	"scream/internal/obs"
+	"scream/internal/tracecheck"
 )
 
 func testSpec(seed int64) scream.ScenarioSpec {
@@ -416,6 +420,202 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestSessionTraceCapture: a finished session's captured trace is fetchable
+// over HTTP as schema-v2 JSONL and replays clean through the offline
+// validator — the full daemon-side loop of the trace toolchain.
+func TestSessionTraceCapture(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	events := postRun(t, ts.URL, testSpec(7))
+	id := events[0].Session
+
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/sessions/%d/trace", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace content type %q", ct)
+	}
+	if d := resp.Header.Get("X-Scream-Trace-Dropped"); d != "0" {
+		t.Errorf("trace dropped lines %q, want 0", d)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(body, []byte(`{"v":2,"ev":"span_begin"`)) {
+		t.Fatalf("trace does not start with a v2 run span: %.80s", body)
+	}
+	trace, err := tracecheck.Parse(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := tracecheck.Validate(trace); len(vs) > 0 {
+		t.Fatalf("captured trace violates invariants: %v", vs)
+	}
+
+	for path, want := range map[string]int{
+		"/api/v1/sessions/99999/trace": http.StatusNotFound,
+		"/api/v1/sessions/bogus/trace": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestSessionTraceDisabled: TraceBytes < 0 turns capture off; the endpoint
+// 404s even for a session that just ran.
+func TestSessionTraceDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceBytes: -1})
+	events := postRun(t, ts.URL, testSpec(7))
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/sessions/%d/trace", ts.URL, events[0].Session))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled capture served status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSessionTraceLive: the trace endpoint answers while the session is
+// still running — a whole-line snapshot of everything flushed so far.
+func TestSessionTraceLive(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body, _ := json.Marshal(longSpec())
+		resp, err := http.Post(ts.URL+"/api/v1/run", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return
+		}
+		decodeStream(t, resp)
+		resp.Body.Close()
+	}()
+	waitActive(t, s, 1)
+	resp, err := http.Get(ts.URL + "/api/v1/sessions/1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live trace: status %d", resp.StatusCode)
+	}
+	// Whatever is flushed so far must be whole lines (possibly none yet).
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		t.Error("live snapshot ends mid-line")
+	}
+	s.CancelSessions()
+	<-done
+}
+
+// TestTraceRetention: finished sessions keep their traces fetchable up to
+// doneRetention; beyond that the oldest capture is evicted.
+func TestTraceRetention(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	spec := testSpec(7)
+	spec.HorizonSec = 0.05
+	for i := 0; i < doneRetention+2; i++ {
+		postRun(t, ts.URL, spec)
+	}
+	s.mu.Lock()
+	retained := len(s.done)
+	s.mu.Unlock()
+	if retained != doneRetention {
+		t.Fatalf("retained %d finished sessions, want %d", retained, doneRetention)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/sessions/1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted session trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsJSONEndpoint: /api/v1/metrics is the JSON twin of /metrics —
+// after one run it carries the serve counters, the session duration
+// histogram, and the scenario-labeled outcome series.
+func TestMetricsJSONEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postRun(t, ts.URL, testSpec(7))
+	resp, err := http.Get(ts.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("metrics content type %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["scream_serve_sessions_completed_total"]; got != 1 {
+		t.Errorf("completed counter %d, want 1", got)
+	}
+	if got := snap.Counters[`scream_serve_scenario_sessions_total{scenario="grid-seed-7",outcome="completed"}`]; got != 1 {
+		t.Errorf("scenario-labeled counter %d, want 1", got)
+	}
+	h, ok := snap.Histograms["scream_serve_session_duration_seconds"]
+	if !ok || h.Count != 1 {
+		t.Errorf("duration histogram %+v (present %v), want count 1", h, ok)
+	}
+	if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].LE != "+Inf" {
+		t.Errorf("duration histogram buckets %+v, want trailing +Inf", h.Buckets)
+	}
+}
+
+// TestScenarioOutcomeMetrics: the labeled session counters attribute runs to
+// their scenario — "adhoc" for unnamed POSTed specs — and canceled runs land
+// in outcome="failed".
+func TestScenarioOutcomeMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	adhoc := testSpec(3)
+	adhoc.Name = ""
+	postRun(t, ts.URL, adhoc)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body, _ := json.Marshal(longSpec())
+		resp, err := http.Post(ts.URL+"/api/v1/run", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return
+		}
+		decodeStream(t, resp)
+		resp.Body.Close()
+	}()
+	waitActive(t, s, 1)
+	s.CancelSessions()
+	<-done
+
+	for name, want := range map[string]int64{
+		`scream_serve_scenario_sessions_total{scenario="adhoc",outcome="completed"}`: 1,
+		`scream_serve_scenario_sessions_total{scenario="long",outcome="failed"}`:     1,
+	} {
+		if got, _ := s.reg.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	h, ok := s.reg.HistogramValue("scream_serve_session_duration_seconds")
+	if !ok || h.Count() != 2 {
+		t.Errorf("duration histogram count %v (present %v), want 2", h, ok)
 	}
 }
 

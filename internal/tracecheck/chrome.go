@@ -1,0 +1,83 @@
+package tracecheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome converts a parsed trace into Chrome trace-event JSON (the
+// trace_event format Perfetto and chrome://tracing load): spans become
+// complete ("X") events with microsecond ts/dur, point events become
+// process-scoped instants ("i"). Complete events are used instead of paired
+// B/E because a horizon-truncated control phase can leave child timestamps
+// beyond the parent's end — X events carry their own duration and need no
+// nesting discipline.
+//
+// Unclosed spans in a truncated capture are emitted as zero-duration X
+// events so they remain visible on the timeline.
+func Chrome(events []Event, w io.Writer) error {
+	type xev struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"` // microseconds of simulated time
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		S    string         `json:"s,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	var out []xev
+	type pending struct {
+		idx int // index in out
+		t   int64
+	}
+	open := map[int64]pending{}
+	for i := range events {
+		e := &events[i]
+		switch e.Ev {
+		case "span_begin":
+			args := make(map[string]any, len(e.Fields)+1)
+			for k, v := range e.Fields {
+				args[k] = v
+			}
+			args["span"] = e.Span
+			out = append(out, xev{
+				Name: e.Name, Ph: "X", Ts: float64(e.T) / 1e3, Dur: 0,
+				Pid: 1, Tid: 1, Args: args,
+			})
+			open[e.Span] = pending{idx: len(out) - 1, t: e.T}
+		case "span_end":
+			p, ok := open[e.Span]
+			if !ok {
+				continue // end without begin (truncated head); nothing to anchor
+			}
+			delete(open, e.Span)
+			x := &out[p.idx]
+			if e.T > p.t {
+				x.Dur = float64(e.T-p.t) / 1e3
+			}
+			for k, v := range e.Fields {
+				x.Args[k] = v
+			}
+		default:
+			args := make(map[string]any, len(e.Fields))
+			for k, v := range e.Fields {
+				args[k] = v
+			}
+			out = append(out, xev{
+				Name: e.Ev, Ph: "i", Ts: float64(e.T) / 1e3,
+				Pid: 1, Tid: 1, S: "p", Args: args,
+			})
+		}
+	}
+	doc := map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("tracecheck: encoding chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package tracecheck
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// EpochRow is one epoch's digest in a Summary: the control-phase inputs from
+// the epoch span's begin line, the build outputs from the schedule_build
+// span, and the delivered-goodput delta computed across epoch ends.
+type EpochRow struct {
+	Epoch     int
+	BeginT    int64 // epoch span begin, ticks (ns)
+	EndT      int64 // epoch span end, ticks (ns)
+	Demand    int64
+	Slots     int64
+	CtrlTicks int64
+	Backlog   int64 // queued packets at epoch end
+	Delivered int64 // delivered during this epoch (delta of cumulative)
+}
+
+// GoodputPps is the epoch's delivered end-to-end packets per simulated
+// second (0 for a zero-length epoch).
+func (r EpochRow) GoodputPps() float64 {
+	if r.EndT <= r.BeginT {
+		return 0
+	}
+	return float64(r.Delivered) / (float64(r.EndT-r.BeginT) / 1e9)
+}
+
+// Summary is the digest screamtrace summarize prints.
+type Summary struct {
+	Events int
+	// Counts keys are event names; spans count once per begin, keyed as
+	// "span:<name>".
+	Counts map[string]int
+	Epochs []EpochRow
+
+	// Run-level facts, present when the trace holds a run span.
+	HasRun    bool
+	Sched     string
+	Nodes     int64
+	Links     int64
+	HorizonT  int64
+	Offered   int64
+	Delivered int64
+	Dropped   int64
+	Lost      int64
+	Backlog   int64
+	DelayP50T int64
+	DelayP95T int64
+}
+
+// Summarize digests a parsed trace. It tolerates incomplete traces (a
+// truncated capture still summarizes whatever it holds).
+func Summarize(events []Event) Summary {
+	s := Summary{Counts: map[string]int{}}
+	open := map[int64]*EpochRow{}   // epoch span id -> row under construction
+	builds := map[int64]*EpochRow{} // schedule_build span id -> enclosing row
+	var prevDelivered int64
+	var curEpoch *EpochRow
+	for i := range events {
+		e := &events[i]
+		s.Events++
+		switch e.Ev {
+		case "span_begin":
+			s.Counts["span:"+e.Name]++
+			switch e.Name {
+			case "run":
+				s.HasRun = true
+				s.Sched, _ = e.Str("sched")
+				s.Nodes, _ = e.Int("nodes")
+				s.Links, _ = e.Int("links")
+				s.HorizonT, _ = e.Int("horizon")
+			case "epoch":
+				idx, _ := e.Int("epoch")
+				row := &EpochRow{Epoch: int(idx), BeginT: e.T}
+				row.Demand, _ = e.Int("demand")
+				open[e.Span] = row
+				curEpoch = row
+			case "schedule_build":
+				if curEpoch != nil {
+					builds[e.Span] = curEpoch
+				}
+			}
+		case "span_end":
+			switch e.Name {
+			case "run":
+				s.Offered, _ = e.Int("offered")
+				s.Delivered, _ = e.Int("delivered")
+				s.Dropped, _ = e.Int("dropped")
+				s.Lost, _ = e.Int("lost")
+				s.Backlog, _ = e.Int("backlog")
+				s.DelayP50T, _ = e.Int("delay_p50")
+				s.DelayP95T, _ = e.Int("delay_p95")
+			case "epoch":
+				if row, ok := open[e.Span]; ok {
+					delete(open, e.Span)
+					row.EndT = e.T
+					row.Backlog, _ = e.Int("backlog")
+					cum, _ := e.Int("delivered")
+					row.Delivered = cum - prevDelivered
+					prevDelivered = cum
+					s.Epochs = append(s.Epochs, *row)
+				}
+			case "schedule_build":
+				if row, ok := builds[e.Span]; ok {
+					delete(builds, e.Span)
+					row.Slots, _ = e.Int("slots")
+					row.CtrlTicks, _ = e.Int("ctrl")
+				}
+			}
+		default:
+			s.Counts[e.Ev]++
+		}
+	}
+	return s
+}
+
+// WriteText renders the summary as the screamtrace summarize report.
+func (s Summary) WriteText(w io.Writer) error {
+	if s.HasRun {
+		fmt.Fprintf(w, "run: sched=%s nodes=%d links=%d horizon=%.3fs\n",
+			s.Sched, s.Nodes, s.Links, float64(s.HorizonT)/1e9)
+		fmt.Fprintf(w, "packets: offered=%d delivered=%d dropped=%d lost=%d backlog=%d\n",
+			s.Offered, s.Delivered, s.Dropped, s.Lost, s.Backlog)
+		fmt.Fprintf(w, "delay: p50=%.3fms p95=%.3fms\n",
+			float64(s.DelayP50T)/1e6, float64(s.DelayP95T)/1e6)
+	}
+	fmt.Fprintf(w, "events: %d total\n", s.Events)
+	names := make([]string, 0, len(s.Counts))
+	for n := range s.Counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-24s %d\n", n, s.Counts[n])
+	}
+	if len(s.Epochs) > 0 {
+		fmt.Fprintln(w, "epochs:")
+		tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "epoch\tdemand\tslots\tctrl_ms\tdelivered\tbacklog\tgoodput_pps\t")
+		for _, r := range s.Epochs {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%.3f\t%d\t%d\t%.1f\t\n",
+				r.Epoch, r.Demand, r.Slots, float64(r.CtrlTicks)/1e6,
+				r.Delivered, r.Backlog, r.GoodputPps())
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+// Package tracecheck parses, validates and summarizes schema-v2 JSONL
+// traces (internal/obs.Tracer). It is the engine behind the screamtrace CLI
+// and the serve-layer tests: everything here works from the trace file alone
+// — no access to the run that produced it — which is the point: the PR 7
+// cross-check invariants (packet conservation, the protocol timing identity)
+// become properties any captured trace can be audited for offline.
+package tracecheck
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Event is one decoded trace line. Span/Parent/Name are populated for
+// span_begin/span_end events; every other field lands in Fields (numbers as
+// int64 when integral, float64 otherwise).
+type Event struct {
+	Line   int // 1-based line number in the input
+	V      int
+	Ev     string
+	T      int64
+	Span   int64
+	Parent int64
+	Name   string
+	Fields map[string]any
+}
+
+// Int returns the named field as int64.
+func (e *Event) Int(key string) (int64, bool) {
+	switch v := e.Fields[key].(type) {
+	case int64:
+		return v, true
+	case float64:
+		if v == math.Trunc(v) {
+			return int64(v), true
+		}
+	}
+	return 0, false
+}
+
+// Str returns the named field as a string.
+func (e *Event) Str(key string) (string, bool) {
+	s, ok := e.Fields[key].(string)
+	return s, ok
+}
+
+// Parse decodes a JSONL trace. It fails fast on malformed JSON or a missing
+// schema version — structural damage — while semantic problems are left to
+// Validate.
+func Parse(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.UseNumber()
+		var m map[string]any
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("line %d: invalid JSON: %w", line, err)
+		}
+		e := Event{Line: line, Fields: make(map[string]any, len(m))}
+		for k, v := range m {
+			var val any = v
+			if num, ok := v.(json.Number); ok {
+				if i, err := num.Int64(); err == nil {
+					val = i
+				} else if f, err := num.Float64(); err == nil {
+					val = f
+				}
+			}
+			switch k {
+			case "v":
+				if i, ok := val.(int64); ok {
+					e.V = int(i)
+				}
+			case "ev":
+				if s, ok := val.(string); ok {
+					e.Ev = s
+				}
+			case "t":
+				if i, ok := val.(int64); ok {
+					e.T = i
+				} else {
+					return nil, fmt.Errorf("line %d: non-integer t", line)
+				}
+			case "span":
+				if i, ok := val.(int64); ok {
+					e.Span = i
+				}
+			case "parent":
+				if i, ok := val.(int64); ok {
+					e.Parent = i
+				}
+			case "name":
+				if s, ok := val.(string); ok {
+					e.Name = s
+				}
+			default:
+				e.Fields[k] = val
+			}
+		}
+		if e.Ev == "" {
+			return nil, fmt.Errorf("line %d: missing event name", line)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Violation is one broken invariant, anchored at the line that exposed it.
+type Violation struct {
+	Line int
+	Msg  string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("line %d: %s", v.Line, v.Msg) }
+
+// openSpan tracks one begun, not-yet-ended span while scanning.
+type openSpan struct {
+	id   int64
+	name string
+	t    int64
+	line int
+}
+
+// spanParent maps each span name to its required parent span name ("" =
+// must be a root span). A span whose parent id is 0 is accepted for any name
+// (standalone core traces have no enclosing flow spans); when a parent
+// exists its name must match.
+var spanParent = map[string]string{
+	"run":            "",
+	"epoch":          "run",
+	"schedule_build": "epoch",
+	"slot":           "schedule_build",
+}
+
+// Validate replays the trace's invariants from the events alone:
+//
+//   - schema: version 2, span_begin/span_end carry ids and names;
+//   - span discipline: ids unique, LIFO begin/end nesting, no span left
+//     open at EOF, end.t >= begin.t, child begin.t >= parent begin.t;
+//   - hierarchy: run ▸ epoch ▸ schedule_build ▸ slot parent names;
+//   - at most one run span; its end carries the packet-conservation ledger
+//     offered == delivered + dropped + lost + backlog (the PR 7 invariant);
+//   - epoch spans indexed 0..n-1 in order, cumulative counters on epoch
+//     ends monotone non-decreasing, run end "epochs" == epoch span count;
+//   - protocol events: the timing identity
+//     exec == screams_measured*k*scream_slot + handshakes_measured*hs_slot
+//     with the slot costs taken from the run span, and rounds == number of
+//     slot spans sealed inside the enclosing schedule_build.
+//
+// Global t-monotonicity across the file is deliberately NOT required: a
+// control phase truncated at the horizon legitimately leaves protocol-layer
+// timestamps beyond later driver timestamps.
+func Validate(events []Event) []Violation {
+	var out []Violation
+	add := func(line int, format string, args ...any) {
+		out = append(out, Violation{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	var stack []openSpan
+	seen := map[int64]bool{}
+	slotChildren := map[int64]int64{} // schedule_build span id -> sealed slots
+	var runBegin, runEnd *Event
+	runSpans := 0
+	epochSpans := 0
+	var prevEpochEnd *Event
+
+	for i := range events {
+		e := &events[i]
+		if e.V != 2 {
+			add(e.Line, "schema version %d, want 2", e.V)
+			continue
+		}
+		switch e.Ev {
+		case "span_begin":
+			if e.Span <= 0 {
+				add(e.Line, "span_begin without a positive span id")
+				continue
+			}
+			if seen[e.Span] {
+				add(e.Line, "span id %d reused", e.Span)
+			}
+			seen[e.Span] = true
+			if e.Name == "" {
+				add(e.Line, "span_begin without a name")
+			}
+			// Implicit-parent discipline: the parent must be the innermost
+			// open span (or 0 at the root).
+			wantParent := int64(0)
+			if len(stack) > 0 {
+				wantParent = stack[len(stack)-1].id
+			}
+			if e.Parent != wantParent {
+				add(e.Line, "span %d (%s) has parent %d, want innermost open span %d",
+					e.Span, e.Name, e.Parent, wantParent)
+			}
+			if want, known := spanParent[e.Name]; known && e.Parent != 0 && len(stack) > 0 {
+				if got := stack[len(stack)-1].name; got != want {
+					add(e.Line, "span %q nested under %q, want %q", e.Name, got, want)
+				}
+			}
+			if len(stack) > 0 && e.T < stack[len(stack)-1].t {
+				add(e.Line, "span %d begins at t=%d before its parent's t=%d",
+					e.Span, e.T, stack[len(stack)-1].t)
+			}
+			switch e.Name {
+			case "run":
+				runSpans++
+				if runSpans > 1 {
+					add(e.Line, "more than one run span")
+				}
+				runBegin = e
+			case "epoch":
+				if idx, ok := e.Int("epoch"); !ok || idx != int64(epochSpans) {
+					add(e.Line, "epoch span index %d, want %d", idx, epochSpans)
+				}
+				epochSpans++
+			case "slot":
+				if e.Parent != 0 {
+					slotChildren[e.Parent]++
+				}
+			}
+			stack = append(stack, openSpan{id: e.Span, name: e.Name, t: e.T, line: e.Line})
+		case "span_end":
+			if len(stack) == 0 {
+				add(e.Line, "span_end %d with no span open", e.Span)
+				continue
+			}
+			top := stack[len(stack)-1]
+			if e.Span != top.id {
+				add(e.Line, "span_end %d out of order; innermost open span is %d (%s, line %d)",
+					e.Span, top.id, top.name, top.line)
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if e.T < top.t {
+				add(e.Line, "span %d (%s) ends at t=%d before its begin t=%d", e.Span, top.name, e.T, top.t)
+			}
+			switch top.name {
+			case "run":
+				runEnd = e
+			case "epoch":
+				for _, key := range []string{"offered", "delivered", "dropped"} {
+					cur, ok := e.Int(key)
+					if !ok {
+						add(e.Line, "epoch end missing %q", key)
+						continue
+					}
+					if prevEpochEnd != nil {
+						if prev, ok := prevEpochEnd.Int(key); ok && cur < prev {
+							add(e.Line, "cumulative %q decreased across epochs: %d -> %d", key, prev, cur)
+						}
+					}
+				}
+				prevEpochEnd = e
+			}
+		case "protocol":
+			var top *openSpan
+			if len(stack) > 0 {
+				top = &stack[len(stack)-1]
+			}
+			checkProtocol(e, runBegin, top, slotChildren, add)
+		}
+	}
+	for _, s := range stack {
+		add(s.line, "span %d (%s) never ended", s.id, s.name)
+	}
+
+	// Run-level ledger: packet conservation and the epoch count.
+	if runEnd != nil {
+		offered, ok1 := runEnd.Int("offered")
+		delivered, ok2 := runEnd.Int("delivered")
+		dropped, ok3 := runEnd.Int("dropped")
+		backlog, ok4 := runEnd.Int("backlog")
+		lost, _ := runEnd.Int("lost") // absent on old emitters -> 0
+		if !(ok1 && ok2 && ok3 && ok4) {
+			add(runEnd.Line, "run end missing conservation fields")
+		} else if offered != delivered+dropped+lost+backlog {
+			add(runEnd.Line, "conservation violated: offered %d != delivered %d + dropped %d + lost %d + backlog %d",
+				offered, delivered, dropped, lost, backlog)
+		}
+		if n, ok := runEnd.Int("epochs"); ok && n != int64(epochSpans) {
+			add(runEnd.Line, "run end reports %d epochs but trace has %d epoch spans", n, epochSpans)
+		}
+	}
+	return out
+}
+
+// checkProtocol validates one protocol-layer summary event: the timing
+// identity against the run span's slot costs, and the sealed-slot count
+// against the enclosing schedule_build's slot spans.
+func checkProtocol(e, runBegin *Event, top *openSpan, slotChildren map[int64]int64,
+	add func(line int, format string, args ...any)) {
+	exec, okE := e.Int("exec")
+	sm, okS := e.Int("screams_measured")
+	hm, okH := e.Int("handshakes_measured")
+	k, okK := e.Int("k")
+	if okE && okS && okH && okK && runBegin != nil {
+		ss, okSS := runBegin.Int("scream_slot")
+		hs, okHS := runBegin.Int("hs_slot")
+		if okSS && okHS {
+			if want := sm*k*ss + hm*hs; exec != want {
+				add(e.Line, "timing identity violated: exec %d != screams_measured %d * k %d * scream_slot %d + handshakes_measured %d * hs_slot %d = %d",
+					exec, sm, k, ss, hm, hs, want)
+			}
+		}
+	}
+	if rounds, ok := e.Int("rounds"); ok && top != nil && top.name == "schedule_build" {
+		// The protocol event fires while its schedule_build span is still
+		// open; the build's sealed slot spans must match its round count.
+		if got := slotChildren[top.id]; got != rounds {
+			add(e.Line, "protocol reports %d rounds but schedule_build %d sealed %d slot spans",
+				rounds, top.id, got)
+		}
+	}
+}

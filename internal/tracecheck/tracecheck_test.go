@@ -1,0 +1,276 @@
+package tracecheck
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scream/internal/obs"
+)
+
+// goodTrace emits a small, fully consistent v2 trace through the real tracer:
+// one run, two epochs, each with a schedule_build holding slot spans and a
+// protocol event whose measured counts satisfy the timing identity for
+// scream_slot=10, hs_slot=4.
+func goodTrace(t *testing.T) []Event {
+	t.Helper()
+	var sb strings.Builder
+	tr := obs.NewTracer(&sb)
+	run := tr.Begin("run", 0,
+		obs.N("nodes", 4), obs.N("links", 3), obs.S("sched", "fdd"),
+		obs.I("horizon", 1000), obs.I("scream_slot", 10), obs.I("hs_slot", 4))
+
+	emitEpoch := func(idx int, begin, end int64, slots int, cum [3]int64, backlog int) {
+		ep := tr.Begin("epoch", begin, obs.N("epoch", idx), obs.N("backlog", backlog), obs.N("demand", 6))
+		bld := tr.Begin("schedule_build", begin, obs.S("sched", "fdd"))
+		tr.SetTimeBase(begin)
+		for r := 0; r < slots; r++ {
+			id := tr.Begin("slot", begin+int64(r), obs.N("round", r))
+			tr.Emit("handshake", obs.I("t", begin+int64(r)), obs.N("round", r),
+				obs.N("links", 2), obs.N("ok", 2), obs.B("veto", false))
+			tr.End(id, begin+int64(r)+1, obs.N("links", 2))
+		}
+		// exec = sm*k*ss + hm*hs = 3*2*10 + 5*4 = 80
+		tr.Emit("protocol", obs.I("t", begin+80), obs.S("variant", "FDD"),
+			obs.N("rounds", slots), obs.N("steps", slots), obs.N("elections", slots),
+			obs.N("screams", 6), obs.I("exec", 80),
+			obs.N("screams_measured", 3), obs.N("handshakes_measured", 5), obs.N("k", 2))
+		tr.End(bld, begin+80, obs.N("slots", slots), obs.I("ctrl", 80))
+		tr.End(ep, end, obs.I("offered", cum[0]), obs.I("delivered", cum[1]),
+			obs.I("dropped", cum[2]), obs.N("backlog", backlog))
+	}
+	emitEpoch(0, 100, 400, 2, [3]int64{10, 6, 1}, 3)
+	emitEpoch(1, 400, 900, 3, [3]int64{20, 14, 2}, 4)
+
+	tr.End(run, 1000, obs.N("offered", 20), obs.N("delivered", 14),
+		obs.N("dropped", 2), obs.N("lost", 0), obs.N("backlog", 4),
+		obs.N("epochs", 2), obs.I("delay_p50", 5000), obs.I("delay_p95", 9000))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestValidateCleanTrace(t *testing.T) {
+	events := goodTrace(t)
+	if vs := Validate(events); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("unexpected violation: %s", v)
+		}
+	}
+}
+
+// corrupt re-serializes the good trace with one line rewritten, re-parses it
+// and returns the violations.
+func corrupt(t *testing.T, rewrite func(e *Event)) []Violation {
+	t.Helper()
+	events := goodTrace(t)
+	for i := range events {
+		rewrite(&events[i])
+	}
+	return Validate(events)
+}
+
+func TestValidateDetections(t *testing.T) {
+	cases := []struct {
+		name    string
+		rewrite func(e *Event)
+		want    string
+	}{
+		{"conservation", func(e *Event) {
+			if e.Ev == "span_end" && e.Name == "run" {
+				e.Fields["delivered"] = int64(13)
+			}
+		}, "conservation violated"},
+		{"timing identity", func(e *Event) {
+			if e.Ev == "protocol" {
+				e.Fields["exec"] = int64(81)
+			}
+		}, "timing identity violated"},
+		{"epoch index gap", func(e *Event) {
+			if e.Ev == "span_begin" && e.Name == "epoch" {
+				e.Fields["epoch"] = int64(7)
+			}
+		}, "epoch span index"},
+		{"rounds vs slots", func(e *Event) {
+			if e.Ev == "protocol" {
+				e.Fields["rounds"] = int64(9)
+			}
+		}, "sealed"},
+		{"end before begin", func(e *Event) {
+			if e.Ev == "span_end" && e.Name == "run" {
+				e.T = -5
+			}
+		}, "before its begin"},
+		{"bad version", func(e *Event) {
+			if e.Ev == "protocol" {
+				e.V = 1
+			}
+		}, "schema version"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := corrupt(t, tc.rewrite)
+			if len(vs) == 0 {
+				t.Fatal("corruption not detected")
+			}
+			found := false
+			for _, v := range vs {
+				if strings.Contains(v.Msg, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no violation matching %q in %v", tc.want, vs)
+			}
+		})
+	}
+}
+
+func TestValidateCumulativeMonotone(t *testing.T) {
+	events := goodTrace(t)
+	// Make the second epoch's cumulative delivered go backwards.
+	seen := 0
+	for i := range events {
+		e := &events[i]
+		if e.Ev == "span_end" && e.Name == "epoch" {
+			seen++
+			if seen == 2 {
+				e.Fields["delivered"] = int64(3) // below epoch 0's 6
+				e.Fields["offered"] = int64(20)
+			}
+		}
+	}
+	vs := Validate(events)
+	found := false
+	for _, v := range vs {
+		if strings.Contains(v.Msg, "decreased across epochs") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("monotonicity break not detected: %v", vs)
+	}
+}
+
+func TestValidateUnclosedSpan(t *testing.T) {
+	var sb strings.Builder
+	tr := obs.NewTracer(&sb)
+	tr.Begin("run", 0)
+	tr.Flush()
+	events, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := Validate(events)
+	if len(vs) == 0 || !strings.Contains(vs[0].Msg, "never ended") {
+		t.Fatalf("unclosed span not detected: %v", vs)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"v":2,"t":1}` + "\n")); err == nil {
+		t.Fatal("line without ev accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(goodTrace(t))
+	if !s.HasRun || s.Sched != "fdd" || s.Nodes != 4 {
+		t.Fatalf("run facts = %+v", s)
+	}
+	if s.Offered != 20 || s.Delivered != 14 || s.Backlog != 4 {
+		t.Fatalf("packet facts = %+v", s)
+	}
+	if len(s.Epochs) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(s.Epochs))
+	}
+	e0, e1 := s.Epochs[0], s.Epochs[1]
+	if e0.Slots != 2 || e0.CtrlTicks != 80 || e0.Delivered != 6 {
+		t.Fatalf("epoch 0 = %+v", e0)
+	}
+	if e1.Delivered != 14-6 {
+		t.Fatalf("epoch 1 delivered = %d, want 8", e1.Delivered)
+	}
+	if s.Counts["span:slot"] != 5 || s.Counts["protocol"] != 2 || s.Counts["handshake"] != 5 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sched=fdd", "offered=20", "epochs:", "goodput_pps"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("summary text missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestChromeStructure validates the export against the Chrome trace-event
+// format: a traceEvents array whose members carry name/ph/ts/pid/tid, with
+// X events additionally carrying a non-negative dur.
+func TestChromeStructure(t *testing.T) {
+	events := goodTrace(t)
+	var sb strings.Builder
+	if err := Chrome(events, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	spans, instants := 0, 0
+	for _, ev := range doc.TraceEvents {
+		name, _ := ev["name"].(string)
+		ph, _ := ev["ph"].(string)
+		if name == "" || ph == "" {
+			t.Fatalf("event missing name/ph: %v", ev)
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event missing numeric ts: %v", ev)
+		}
+		for _, k := range []string{"pid", "tid"} {
+			if _, ok := ev[k].(float64); !ok {
+				t.Fatalf("event missing %s: %v", k, ev)
+			}
+		}
+		switch ph {
+		case "X":
+			spans++
+			if d, ok := ev["dur"].(float64); !ok || d < 0 {
+				t.Fatalf("X event with bad dur: %v", ev)
+			}
+		case "i":
+			instants++
+		default:
+			t.Fatalf("unexpected phase %q", ph)
+		}
+	}
+	// 1 run + 2 epochs + 2 builds + 5 slots = 10 spans; 5 handshakes +
+	// 2 protocol events = 7 instants.
+	if spans != 10 || instants != 7 {
+		t.Fatalf("spans=%d instants=%d, want 10,7", spans, instants)
+	}
+	// Simulated ticks are ns; ts must be µs. The run span starts at 0 and
+	// lasts 1000 ticks -> dur 1µs.
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "run" {
+			if ev["dur"].(float64) != 1.0 {
+				t.Fatalf("run dur = %v µs, want 1", ev["dur"])
+			}
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"scream/internal/tracecheck"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -157,10 +159,11 @@ func TestObsDisabledIdenticalResults(t *testing.T) {
 	}
 }
 
-// TestObsTraceGolden pins the JSONL trace of the pinned scenario byte-for-
-// byte: same seed, single-threaded driver, simulated timestamps — the trace
-// must be fully deterministic, and the golden file documents the schema in
-// the repository. Regenerate with: go test -run TestObsTraceGolden -update
+// TestObsTraceGolden pins the schema-v2 JSONL span trace of the pinned
+// scenario byte-for-byte: same seed, single-threaded driver, simulated
+// timestamps — the trace must be fully deterministic (wall-clock sampling
+// stays off), and the golden file documents the schema in the repository.
+// Regenerate with: go test -run TestObsTraceGolden -update
 func TestObsTraceGolden(t *testing.T) {
 	m := flowTestMesh(t)
 	emit := func() []byte {
@@ -180,8 +183,15 @@ func TestObsTraceGolden(t *testing.T) {
 	if again := emit(); !bytes.Equal(got, again) {
 		t.Fatal("identical runs produced different traces")
 	}
+	events, err := tracecheck.Parse(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := tracecheck.Validate(events); len(vs) > 0 {
+		t.Fatalf("golden scenario trace violates invariants: %v", vs)
+	}
 
-	golden := filepath.Join("testdata", "flow_trace_v1.jsonl")
+	golden := filepath.Join("testdata", "flow_trace_v2.jsonl")
 	if *updateGolden {
 		if err := os.WriteFile(golden, got, 0o644); err != nil {
 			t.Fatal(err)

@@ -24,8 +24,9 @@ type (
 	// histograms. The zero pointer (nil) is valid everywhere one is
 	// accepted and disables collection at zero cost.
 	ObsRegistry = obs.Registry
-	// ObsTracer writes structured JSONL events (schema "v":1); nil
-	// disables tracing.
+	// ObsTracer writes structured JSONL events (schema "v":2: paired
+	// span_begin/span_end lines plus instants — analyze with
+	// cmd/screamtrace); nil disables tracing.
 	ObsTracer = obs.Tracer
 )
 

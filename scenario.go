@@ -474,6 +474,9 @@ type RunOptions struct {
 	// Metrics/Trace are the observability sinks (see FlowOptions).
 	Metrics *ObsRegistry
 	Trace   *ObsTracer
+	// Perf opts into wall-clock sampling of the schedule-build and
+	// epoch-drive hot paths (see FlowOptions.Perf).
+	Perf bool
 	// Mesh, when non-nil, skips building spec.Topology and runs on the given
 	// mesh instead — the daemon's preloaded-scenario path, where each session
 	// runs on its own clone of a shared deployment.
@@ -529,6 +532,7 @@ func RunWith(ctx context.Context, spec ScenarioSpec, o RunOptions) (*FlowResult,
 		Channels:       spec.Channels,
 		Metrics:        o.Metrics,
 		Trace:          o.Trace,
+		Perf:           o.Perf,
 		OnEpoch:        o.OnEpoch,
 	})
 }
