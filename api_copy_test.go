@@ -95,6 +95,42 @@ func TestAPIDefensiveCopies(t *testing.T) {
 				t.Error("mutating a spec clone leaked into the source spec")
 			}
 		}},
+		{"ScenarioSpec.Clone isolates the interference block", func(t *testing.T) {
+			spec := testSpec()
+			spec.Interference = &InterferenceSpec{Engine: EngineSpatial, CutoffM: 200}
+			c := spec.Clone()
+			c.Interference.Engine = EngineDense
+			c.Interference.CutoffM = 1
+			if spec.Interference.Engine != EngineSpatial || spec.Interference.CutoffM != 200 {
+				t.Error("mutating a clone's interference block leaked into the source spec")
+			}
+		}},
+		{"Engines returns a fresh slice", func(t *testing.T) {
+			infos := Engines()
+			want := Engines()
+			for i := range infos {
+				infos[i] = EngineInfo{Name: "clobbered"}
+			}
+			if !reflect.DeepEqual(Engines(), want) {
+				t.Error("mutating Engines() result changed the registry")
+			}
+		}},
+		{"Mesh.Clone carries the engine selection", func(t *testing.T) {
+			m := flowTestMesh(t)
+			if err := m.UseEngine(InterferenceSpec{Engine: EngineSpatial}); err != nil {
+				t.Fatal(err)
+			}
+			c := m.Clone()
+			if c.EngineName() != EngineSpatial {
+				t.Errorf("clone lost the engine selection: %q", c.EngineName())
+			}
+			if err := c.UseEngine(InterferenceSpec{}); err != nil {
+				t.Fatal(err)
+			}
+			if m.EngineName() != EngineSpatial {
+				t.Errorf("re-selecting a clone's engine changed the source mesh: %q", m.EngineName())
+			}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, tc.probe)

@@ -62,6 +62,16 @@ func schedulerNames() string {
 	return strings.Join(names, ", ")
 }
 
+// engineNames enumerates the interference-engine registry for the -engine
+// usage string, the same way schedulerNames tracks the scheduler registry.
+func engineNames() string {
+	var names []string
+	for _, e := range scream.Engines() {
+		names = append(names, e.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
 // dynFlags collects the topology-dynamics command line.
 type dynFlags struct {
 	failRate float64
@@ -91,6 +101,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		channels  = flag.Int("channels", 1, "orthogonal data channels (1 = classic single-channel)")
 		radios    = flag.Int("radios", 1, "radio interfaces per node (max channels a node uses per slot)")
+		engine    = flag.String("engine", "dense", "interference engine for centralized schedulers: "+engineNames())
+		cutoff    = flag.Float64("cutoff", 0, "spatial engine exact-evaluation radius in meters (0 = derived)")
+		bucket    = flag.Float64("bucket", 0, "spatial engine grid bucket edge in meters (0 = cutoff/2)")
 		obsAddr   = flag.String("obs", "", "serve /metrics and /debug/pprof on this address (e.g. :9090); the process stays up after the run until interrupted")
 		traceFile = flag.String("trace", "", "write a JSONL event trace (schema v2 spans; analyze with screamtrace) to this file")
 		perf      = flag.Bool("perf", false, "sample wall-clock durations of the schedule-build and epoch hot paths into scream_perf_* histograms (adds wall_ns to trace spans; results stay deterministic, trace bytes do not)")
@@ -116,7 +129,14 @@ func main() {
 			err = execute(spec, *obsAddr, *traceFile, *perf)
 		}
 	} else {
-		err = run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *channels, *radios, *seed, *obsAddr, *traceFile, *perf, dyn)
+		// The interference block is only attached when it says something
+		// non-default, so flag runs keep emitting the exact specs they
+		// always did.
+		var interf *scream.InterferenceSpec
+		if *engine != scream.EngineDense || *cutoff != 0 || *bucket != 0 {
+			interf = &scream.InterferenceSpec{Engine: *engine, CutoffM: *cutoff, BucketM: *bucket}
+		}
+		err = run(*rows, *cols, *step, *tx, *schedName, *p, *arrival, *load, *horizon, *frames, *quota, *maxQueue, *channels, *radios, *seed, *obsAddr, *traceFile, *perf, interf, dyn)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowsim:", err)
@@ -126,7 +146,7 @@ func main() {
 
 // run assembles a ScenarioSpec from the command line — the flag surface is a
 // flat view of the same document -scenario loads whole.
-func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue, channels, radios int, seed int64, obsAddr, traceFile string, perf bool, dyn dynFlags) error {
+func run(rows, cols int, step, tx float64, schedName string, p float64, arrival string, load, horizon float64, frames, quota, maxQueue, channels, radios int, seed int64, obsAddr, traceFile string, perf bool, interf *scream.InterferenceSpec, dyn dynFlags) error {
 	if channels < 1 {
 		return fmt.Errorf("need at least 1 channel, got %d", channels)
 	}
@@ -144,6 +164,7 @@ func run(rows, cols int, step, tx float64, schedName string, p float64, arrival 
 		MaxService:     quota,
 		MaxQueue:       maxQueue,
 		Channels:       channels,
+		Interference:   interf,
 	}
 	if radios > 1 {
 		spec.Topology.Radio = &scream.RadioSpec{NumRadios: radios}
@@ -214,6 +235,9 @@ func execute(spec scream.ScenarioSpec, obsAddr, traceFile string, perf bool) err
 	if spec.Channels > 1 {
 		fmt.Printf("      channels: %d orthogonal (control on channel 0), %d radios per node\n",
 			spec.Channels, mesh.NumRadios())
+	}
+	if spec.Interference != nil {
+		fmt.Printf("      interference engine: %s\n", mesh.EngineName())
 	}
 	if d := spec.Dynamics; d != nil {
 		mob := d.Mobility

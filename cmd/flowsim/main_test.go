@@ -13,33 +13,43 @@ import (
 // physics (internal/flow owns those assertions).
 
 func TestRunGreedyCBR(t *testing.T) {
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, nil, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFDDPoisson(t *testing.T) {
-	if err := run(4, 4, 30, 0, "fdd", 0.8, "poisson", 0.5, 0.5, 16, 8, 0, 1, 1, 2, "", "", false, dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "fdd", 0.8, "poisson", 0.5, 0.5, 16, 8, 0, 1, 1, 2, "", "", false, nil, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPDDBursty(t *testing.T) {
-	if err := run(4, 4, 30, 0, "pdd", 0.6, "bursty", 0.5, 0.5, 16, 8, 0, 1, 1, 3, "", "", false, dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "pdd", 0.6, "bursty", 0.5, 0.5, 16, 8, 0, 1, 1, 3, "", "", false, nil, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTDMAZipf(t *testing.T) {
-	if err := run(4, 4, 30, 0, "tdma", 0.8, "zipf", 0.5, 0.3, 8, 8, 16, 1, 1, 4, "", "", false, dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "tdma", 0.8, "zipf", 0.5, 0.3, 8, 8, 16, 1, 1, 4, "", "", false, nil, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunSpatialEngine(t *testing.T) {
+	interf := &scream.InterferenceSpec{Engine: scream.EngineSpatial}
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 9, "", "", false, interf, dynFlags{mobility: "none"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(4, 4, 30, 0, "fdd", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 9, "", "", false, interf, dynFlags{mobility: "none"}); err == nil {
+		t.Error("the distributed fdd scheduler requires the dense engine and should fail")
 	}
 }
 
 func TestRunMultiChannel(t *testing.T) {
 	// Every scheduler over 3 channels with 2 radios per node.
 	for _, sched := range []string{"greedy", "fdd", "pdd", "tdma"} {
-		if err := run(4, 4, 30, 0, sched, 0.8, "poisson", 1.5, 0.4, 16, 8, 0, 3, 2, 8, "", "", false, dynFlags{mobility: "none"}); err != nil {
+		if err := run(4, 4, 30, 0, sched, 0.8, "poisson", 1.5, 0.4, 16, 8, 0, 3, 2, 8, "", "", false, nil, dynFlags{mobility: "none"}); err != nil {
 			t.Fatalf("%s: %v", sched, err)
 		}
 	}
@@ -47,25 +57,25 @@ func TestRunMultiChannel(t *testing.T) {
 
 func TestRunChurn(t *testing.T) {
 	d := dynFlags{failRate: 2, downtime: 0.1, mobility: "none"}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "poisson", 0.5, 0.4, 8, 8, 0, 1, 1, 5, "", "", false, d); err != nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "poisson", 0.5, 0.4, 8, 8, 0, 1, 1, 5, "", "", false, nil, d); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMobility(t *testing.T) {
 	d := dynFlags{mobility: "waypoint", speed: 10, pause: 0.05, moveInt: 0.05}
-	if err := run(4, 4, 30, 0, "tdma", 0.8, "cbr", 0.5, 0.4, 8, 8, 0, 1, 1, 6, "", "", false, d); err != nil {
+	if err := run(4, 4, 30, 0, "tdma", 0.8, "cbr", 0.5, 0.4, 8, 8, 0, 1, 1, 6, "", "", false, nil, d); err != nil {
 		t.Fatal(err)
 	}
 	d = dynFlags{mobility: "drift", speed: 5, moveInt: 0.05}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.4, 8, 8, 0, 1, 1, 7, "", "", false, d); err != nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.4, 8, 8, 0, 1, 1, 7, "", "", false, nil, d); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTraceFile(t *testing.T) {
 	out := t.TempDir() + "/trace.jsonl"
-	if err := run(4, 4, 30, 0, "fdd", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", out, false, dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "fdd", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", out, false, nil, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -88,7 +98,7 @@ func TestRunTraceFile(t *testing.T) {
 // invariant.
 func TestRunPerfTrace(t *testing.T) {
 	out := t.TempDir() + "/trace_perf.jsonl"
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", out, true, dynFlags{mobility: "none"}); err != nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", out, true, nil, dynFlags{mobility: "none"}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -134,25 +144,25 @@ func TestRunScenarioFile(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	none := dynFlags{mobility: "none"}
-	if err := run(4, 4, 30, 0, "astrology", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, none); err == nil {
+	if err := run(4, 4, 30, 0, "astrology", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, nil, none); err == nil {
 		t.Error("unknown scheduler should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "telepathy", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, none); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "telepathy", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, nil, none); err == nil {
 		t.Error("unknown arrival process should fail")
 	}
-	if err := run(0, 0, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, none); err == nil {
+	if err := run(0, 0, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, nil, none); err == nil {
 		t.Error("invalid grid should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0, 8, 8, 0, 1, 1, 1, "", "", false, none); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0, 8, 8, 0, 1, 1, 1, "", "", false, nil, none); err == nil {
 		t.Error("zero horizon should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 0, 0, 1, "", "", false, none); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 0, 0, 1, "", "", false, nil, none); err == nil {
 		t.Error("zero channel count should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, dynFlags{failRate: 1, mobility: "levitation"}); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, nil, dynFlags{failRate: 1, mobility: "levitation"}); err == nil {
 		t.Error("unknown mobility model should fail")
 	}
-	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, dynFlags{failRate: -2, mobility: "none"}); err == nil {
+	if err := run(4, 4, 30, 0, "greedy", 0.8, "cbr", 0.5, 0.3, 8, 8, 0, 1, 1, 1, "", "", false, nil, dynFlags{failRate: -2, mobility: "none"}); err == nil {
 		t.Error("negative fail rate should fail, not silently disable churn")
 	}
 }

@@ -1,0 +1,62 @@
+package scream
+
+// The public interference-engine registry: the name-addressable table of
+// interference models the schedulers can build against. It mirrors the
+// scheduler registry (Schedulers/SchedulerByName): CLIs (flowsim -engine,
+// figgen), the screamd daemon's /api/v1/engines endpoint and scenario specs
+// (ScenarioSpec.Interference) all enumerate and resolve engines through this
+// one table, backed by phys.Engines.
+
+import (
+	"fmt"
+
+	"scream/internal/phys"
+)
+
+// EngineInfo describes one registered interference engine. The JSON shape is
+// served verbatim by screamd's /api/v1/engines endpoint.
+type EngineInfo struct {
+	// Name is the registry key: the value of flowsim -engine and
+	// ScenarioSpec.Interference.Engine.
+	Name string `json:"name"`
+	// Doc is a one-line description of the engine's model and trade-off.
+	Doc string `json:"doc"`
+	// Exact reports whether the engine answers every interference query
+	// exactly (true) or may conservatively over-estimate far-field
+	// interference (false). Inexact engines never admit a schedule the exact
+	// model would reject — they only reject more.
+	Exact bool `json:"exact"`
+}
+
+// Engine registry names.
+const (
+	// EngineDense is the exact dense n x n RX-power matrix — the reference
+	// model and the default everywhere an engine is not named.
+	EngineDense = phys.EngineDense
+	// EngineSpatial is the grid-bucket spatial index: exact near-field
+	// queries within a cutoff radius, a conservative per-bucket far-field
+	// bound beyond it, O(n) memory.
+	EngineSpatial = phys.EngineSpatial
+)
+
+// Engines enumerates the registered interference engines in reporting order
+// (the exact default first). The returned slice is freshly allocated on every
+// call: mutating it never affects the registry.
+func Engines() []EngineInfo {
+	defs := phys.Engines()
+	infos := make([]EngineInfo, len(defs))
+	for i, d := range defs {
+		infos[i] = EngineInfo{Name: d.Name, Doc: d.Doc, Exact: d.Exact}
+	}
+	return infos
+}
+
+// EngineByName resolves a registry name ("dense", "spatial") to its engine
+// description. Unknown names return an error listing every valid name.
+func EngineByName(name string) (EngineInfo, error) {
+	d, err := phys.EngineByName(name)
+	if err != nil {
+		return EngineInfo{}, fmt.Errorf("scream: %w", err)
+	}
+	return EngineInfo{Name: d.Name, Doc: d.Doc, Exact: d.Exact}, nil
+}

@@ -55,6 +55,14 @@ func FigChannels(opts ExperimentOptions) (*Figure, error) { return exp.FigChanne
 // DESIGN.md).
 func FigSched(opts ExperimentOptions) (*Figure, error) { return exp.FigSched(opts) }
 
+// FigScale sweeps the node count to 50k and compares the spatial grid-bucket
+// interference engine against the dense n*n matrix: engine memory, index
+// build time, and per-admission time and allocation (extension; see the
+// "Spatial interference index" section of DESIGN.md). Its timing series are
+// wall-clock measurements, so unlike every other figure its output is not
+// byte-reproducible and it is excluded from figgen's "all" set.
+func FigScale(opts ExperimentOptions) (*Figure, error) { return exp.FigScale(opts) }
+
 // Ablations for the design choices called out in DESIGN.md.
 
 // AblationPDDProbability sweeps PDD's activation probability p.

@@ -14,6 +14,7 @@ import (
 	"scream/internal/dynam"
 	"scream/internal/flow"
 	"scream/internal/obs"
+	"scream/internal/phys"
 	"scream/internal/traffic"
 )
 
@@ -271,6 +272,22 @@ func RunFlowContext(ctx context.Context, m *Mesh, opts FlowOptions) (*FlowResult
 		}
 		repairCost = tm.RepairCost(k)
 	}
+	// The interference engine the centralized schedulers build against: nil
+	// keeps the dense channel (the default, bit-identical to every run before
+	// engines existed). A spatial mesh gets a fresh index over the run's
+	// network view; under dynamics the world keeps it in lockstep with churn
+	// and mobility, and the epoch scheduler re-reads it on every build.
+	var engine phys.Engine
+	if m.EngineName() == EngineSpatial {
+		idx, err := net.SpatialEngine(m.interf.CutoffM, m.interf.BucketM)
+		if err != nil {
+			return nil, fmt.Errorf("scream: %w", err)
+		}
+		if world != nil {
+			world.AttachSpatial(idx)
+		}
+		engine = idx
+	}
 	channels := opts.Channels
 	if channels <= 0 {
 		channels = 1
@@ -289,6 +306,7 @@ func RunFlowContext(ctx context.Context, m *Mesh, opts FlowOptions) (*FlowResult
 	}
 	scheduler, err := def.New(flow.SchedulerEnv{
 		Channel:  net.Channel,
+		Engine:   engine,
 		Sens:     net.Sens,
 		Links:    m.Links,
 		Ordering: opts.Ordering,

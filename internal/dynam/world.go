@@ -7,6 +7,7 @@ import (
 	"scream/internal/graph"
 	"scream/internal/obs"
 	"scream/internal/phys"
+	"scream/internal/phys/spatial"
 	"scream/internal/route"
 	"scream/internal/topo"
 )
@@ -33,6 +34,10 @@ type World struct {
 	// Optional instrumentation, attached via SetObs.
 	obs   *worldObs
 	trace *obs.Tracer
+
+	// Optional spatial interference index kept in lockstep with the
+	// timeline, attached via AttachSpatial.
+	spatial *spatial.Index
 
 	// scratch
 	changed     []int
@@ -117,6 +122,18 @@ func NewWorld(net *topo.Network, forest *route.Forest, cfg Config) (*World, erro
 	return w, nil
 }
 
+// AttachSpatial registers a spatial interference index the world keeps in
+// lockstep with the deployment: every Fail, Recover and Move event is
+// forwarded as the index's bucket-local RemoveNode/RestoreNode/MoveNode
+// update, mirroring the channel's targeted row/column invalidation. The
+// index must describe the same deployment state the world currently holds
+// (topo.Network.SpatialEngine over the world's network does). Pass nil to
+// detach.
+func (w *World) AttachSpatial(idx *spatial.Index) { w.spatial = idx }
+
+// Spatial returns the attached spatial index, or nil.
+func (w *World) Spatial() *spatial.Index { return w.spatial }
+
 // Alive returns the live aliveness view. The slice is owned by the world;
 // callers must treat it as read-only and must not retain it across
 // AdvanceTo calls they expect to be stale-proof.
@@ -200,6 +217,11 @@ func (w *World) AdvanceTo(t des.Time) (*Change, error) {
 			if err := w.net.SetNodeDown(e.Node); err != nil {
 				return nil, fmt.Errorf("dynam: %w", err)
 			}
+			if w.spatial != nil {
+				if err := w.spatial.RemoveNode(e.Node); err != nil {
+					return nil, fmt.Errorf("dynam: %w", err)
+				}
+			}
 			w.alive[e.Node] = false
 			ch.Failed = append(ch.Failed, e.Node)
 		case Recover:
@@ -209,6 +231,11 @@ func (w *World) AdvanceTo(t des.Time) (*Change, error) {
 			w.markChanged(e.Node)
 			if err := w.net.SetNodeUp(e.Node); err != nil {
 				return nil, fmt.Errorf("dynam: %w", err)
+			}
+			if w.spatial != nil {
+				if err := w.spatial.RestoreNode(e.Node); err != nil {
+					return nil, fmt.Errorf("dynam: %w", err)
+				}
 			}
 			w.alive[e.Node] = true
 			ch.Recovered = append(ch.Recovered, e.Node)
@@ -220,11 +247,21 @@ func (w *World) AdvanceTo(t des.Time) (*Change, error) {
 				if err := w.net.MoveNode(e.Node, e.Pos); err != nil {
 					return nil, fmt.Errorf("dynam: %w", err)
 				}
+				if w.spatial != nil {
+					if err := w.spatial.MoveNode(e.Node, e.Pos); err != nil {
+						return nil, fmt.Errorf("dynam: %w", err)
+					}
+				}
 				continue
 			}
 			w.markChanged(e.Node) // neighbors at the old position
 			if err := w.net.MoveNode(e.Node, e.Pos); err != nil {
 				return nil, fmt.Errorf("dynam: %w", err)
+			}
+			if w.spatial != nil {
+				if err := w.spatial.MoveNode(e.Node, e.Pos); err != nil {
+					return nil, fmt.Errorf("dynam: %w", err)
+				}
 			}
 			ch.Moved = append(ch.Moved, e.Node)
 		default:

@@ -28,6 +28,12 @@ import (
 type SchedulerEnv struct {
 	// Channel is the deployment's physical channel (SINR feasibility).
 	Channel *phys.Channel
+	// Engine, when non-nil, is the interference engine the centralized
+	// schedulers build against instead of Channel — e.g. the spatial
+	// grid-bucket index. The distributed protocols simulate real radios
+	// over the exact channel and reject a non-dense engine. Nil means
+	// Channel.
+	Engine phys.Engine
 	// Sens is the sensitivity graph, required by the distributed protocols.
 	Sens *graph.Graph
 	// Links is the link set schedules are built over.
@@ -79,6 +85,29 @@ func (e SchedulerEnv) ordering() sched.Ordering {
 	return e.Ordering
 }
 
+// engine returns the interference engine schedulers build against: Engine
+// when set, otherwise the dense channel.
+func (e SchedulerEnv) engine() phys.Engine {
+	if e.Engine != nil {
+		return e.Engine
+	}
+	return e.Channel
+}
+
+// requireDense returns an error unless the environment's engine is the
+// dense channel. The distributed protocols (and anything else that
+// simulates real reception) need exact interference, not a conservative
+// bound.
+func (e SchedulerEnv) requireDense(name string) error {
+	if e.Engine == nil {
+		return nil
+	}
+	if _, ok := e.Engine.(*phys.Channel); ok {
+		return nil
+	}
+	return fmt.Errorf("flow: scheduler %q requires the dense interference engine", name)
+}
+
 func (e SchedulerEnv) protocolConfig(v core.Variant) ProtocolSchedulerConfig {
 	cfg := ProtocolSchedulerConfig{
 		Channel: e.Channel,
@@ -124,13 +153,9 @@ func SchedulerDefs() []SchedulerDef {
 			MultiChannel: true,
 			New: func(env SchedulerEnv) (Scheduler, error) {
 				if env.Channels > 1 {
-					cs, err := phys.NewChannelSet(env.Channel, env.Channels)
-					if err != nil {
-						return Scheduler{}, err
-					}
-					return NewGreedyMultiScheduler(cs, env.Radios, env.Links, env.ordering()), nil
+					return NewGreedyMultiEngineScheduler(env.engine(), env.Channels, env.Radios, env.Links, env.ordering()), nil
 				}
-				return NewGreedyScheduler(env.Channel, env.Links, env.ordering()), nil
+				return NewGreedyScheduler(env.engine(), env.Links, env.ordering()), nil
 			},
 		},
 		{
@@ -141,7 +166,7 @@ func SchedulerDefs() []SchedulerDef {
 				if env.Channels > 1 {
 					return Scheduler{}, fmt.Errorf("flow: scheduler %q is single-channel only", "maxweight")
 				}
-				return NewMaxWeightScheduler(env.Channel, env.Links), nil
+				return NewMaxWeightScheduler(env.engine(), env.Links), nil
 			},
 		},
 		{
@@ -152,7 +177,7 @@ func SchedulerDefs() []SchedulerDef {
 				if env.Channels > 1 {
 					return Scheduler{}, fmt.Errorf("flow: scheduler %q is single-channel only", "fanzhang")
 				}
-				return NewFanZhangScheduler(env.Channel, env.Links), nil
+				return NewFanZhangScheduler(env.engine(), env.Links), nil
 			},
 		},
 		{
@@ -162,6 +187,9 @@ func SchedulerDefs() []SchedulerDef {
 			Distributed:  true,
 			MultiChannel: true,
 			New: func(env SchedulerEnv) (Scheduler, error) {
+				if err := env.requireDense("fdd"); err != nil {
+					return Scheduler{}, err
+				}
 				return NewProtocolScheduler(env.protocolConfig(core.FDD))
 			},
 		},
@@ -172,6 +200,9 @@ func SchedulerDefs() []SchedulerDef {
 			Distributed:  true,
 			MultiChannel: true,
 			New: func(env SchedulerEnv) (Scheduler, error) {
+				if err := env.requireDense("pdd"); err != nil {
+					return Scheduler{}, err
+				}
 				return NewProtocolScheduler(env.protocolConfig(core.PDD))
 			},
 		},

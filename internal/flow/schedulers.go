@@ -27,7 +27,7 @@ var ErrControlUnavailable = errors.New("flow: distributed control unavailable on
 // (demands aggregated over the forest, head-ID ordering, one handshake slot
 // per schedule slot). A per-node arrival rate of x/FrameTime offers x times
 // the static schedule's sustainable load — the x axis of the load sweeps.
-func FrameTime(ch *phys.Channel, forest *route.Forest, links []phys.Link, tm core.Timing) (des.Time, error) {
+func FrameTime(ch phys.Engine, forest *route.Forest, links []phys.Link, tm core.Timing) (des.Time, error) {
 	ones := make([]int, forest.NumNodes())
 	for i := range ones {
 		ones[i] = 1
@@ -57,7 +57,7 @@ func FrameTime(ch *phys.Channel, forest *route.Forest, links []phys.Link, tm cor
 // pays real SCREAM/election/handshake time). It is adaptive under topology
 // dynamics: Rebind re-targets it at the repaired link set (the channel is
 // the same object, mutated in place by the dynamics world).
-func NewGreedyScheduler(ch *phys.Channel, links []phys.Link, ord sched.Ordering) Scheduler {
+func NewGreedyScheduler(ch phys.Engine, links []phys.Link, ord sched.Ordering) Scheduler {
 	cur := links
 	return Scheduler{
 		Name: fmt.Sprintf("greedy(%v)", ord),
@@ -80,7 +80,7 @@ func NewGreedyScheduler(ch *phys.Channel, links []phys.Link, ord sched.Ordering)
 // Control cost is idealized to zero, the same genie as NewGreedyScheduler,
 // so the two are directly comparable. It is adaptive under topology
 // dynamics: Rebind re-targets it at the repaired link set.
-func NewMaxWeightScheduler(ch *phys.Channel, links []phys.Link) Scheduler {
+func NewMaxWeightScheduler(ch phys.Engine, links []phys.Link) Scheduler {
 	cur := links
 	return Scheduler{
 		Name: "maxweight",
@@ -100,7 +100,7 @@ func NewMaxWeightScheduler(ch *phys.Channel, links []phys.Link) Scheduler {
 // backlogged links into geometric length classes and schedules each class
 // separately (sched.ApproxFanZhang), at zero (genie) control cost. Adaptive
 // under topology dynamics via Rebind, like the other centralized baselines.
-func NewFanZhangScheduler(ch *phys.Channel, links []phys.Link) Scheduler {
+func NewFanZhangScheduler(ch phys.Engine, links []phys.Link) Scheduler {
 	cur := links
 	return Scheduler{
 		Name: "fanzhang",
@@ -121,11 +121,18 @@ func NewFanZhangScheduler(ch *phys.Channel, links []phys.Link) Scheduler {
 // control cost. With one channel and one radio it builds exactly the
 // schedules NewGreedyScheduler would.
 func NewGreedyMultiScheduler(cs *phys.ChannelSet, numRadios int, links []phys.Link, ord sched.Ordering) Scheduler {
+	return NewGreedyMultiEngineScheduler(cs.Base(), cs.NumChannels(), numRadios, links, ord)
+}
+
+// NewGreedyMultiEngineScheduler is NewGreedyMultiScheduler over any
+// interference engine: channels orthogonal copies of eng, numRadios radios
+// per node.
+func NewGreedyMultiEngineScheduler(eng phys.Engine, channels, numRadios int, links []phys.Link, ord sched.Ordering) Scheduler {
 	cur := links
 	return Scheduler{
-		Name: fmt.Sprintf("greedy(%v,C=%d)", ord, cs.NumChannels()),
+		Name: fmt.Sprintf("greedy(%v,C=%d)", ord, channels),
 		Build: func(demands []int, _ int) (*sched.Schedule, des.Time, error) {
-			s, err := sched.GreedyPhysicalMulti(cs, numRadios, cur, demands, ord)
+			s, err := sched.GreedyPhysicalMultiEngine(eng, channels, numRadios, cur, demands, ord)
 			return s, 0, err
 		},
 		Rebind: func(t Topology) error {

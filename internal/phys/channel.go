@@ -104,13 +104,18 @@ func (c *Channel) RxPowerMW(u, v int) float64 {
 
 // MoveNode replaces node u's symmetric gain row: after the call,
 // Gain(u, v) == Gain(v, u) == g[v] for every v != u (g[u] is ignored; the
-// self-gain stays 0). Only row u and column u of the cached RX-power matrix
-// are recomputed — with the same single multiplication rxMatrix performs on
-// a cold build, so the resulting matrix is bit-identical to a freshly
-// constructed channel over the updated gain matrix.
+// self-gain stays 0). If the RX-power cache has been built, only row u and
+// column u of it are recomputed — with the same single multiplication
+// rxMatrix performs on a cold build, so the resulting matrix is
+// bit-identical to a freshly constructed channel over the updated gain
+// matrix; on an unbuilt cache there is nothing to patch and the lazy build
+// sees the new gains. On an invalid argument the error is returned before
+// anything is touched, leaving the channel unmodified.
 //
 // MoveNode requires exclusive access: no reader may run concurrently with
-// it. The channel is safe for concurrent reads again once it returns.
+// it. The channel is safe for concurrent reads again once it returns. A
+// spatial engine built over the same deployment is a separate structure and
+// must be updated through its own MoveNode (dynam.World forwards both).
 func (c *Channel) MoveNode(u int, g []float64) error {
 	n := len(c.txPowerMW)
 	if u < 0 || u >= n {
@@ -148,8 +153,10 @@ func (c *Channel) MoveNode(u int, g []float64) error {
 
 // RemoveNode silences node u: every gain to and from it becomes 0, so it
 // neither delivers power anywhere nor receives any — the channel of a
-// network where u's radio is off. Reinstate the node with MoveNode and its
-// current gain row. Same exclusivity contract as MoveNode.
+// network where u's radio is off. The channel does not remember the
+// silenced row, so reinstating the node means calling MoveNode with a gain
+// row recomputed from its position (topo.Network.SetNodeUp does exactly
+// that). Same exclusivity contract as MoveNode.
 func (c *Channel) RemoveNode(u int) error {
 	return c.MoveNode(u, make([]float64, len(c.txPowerMW)))
 }

@@ -92,7 +92,8 @@ func (cs *ChannelSet) FeasibleAssignment(placements []Placement, numRadios int) 
 // A MultiSlotState is not safe for concurrent use and must not be copied
 // after Init (its per-channel SlotStates carry inline storage).
 type MultiSlotState struct {
-	cs        *ChannelSet
+	base      Engine
+	num       int
 	numRadios int
 	states    []SlotState
 	radios    []int32 // radios[u]: placements in this slot with endpoint u
@@ -110,22 +111,38 @@ func NewMultiSlotState(cs *ChannelSet, numRadios int) *MultiSlotState {
 	return s
 }
 
+// NewMultiSlotStateEngine returns an empty multi-channel slot over channels
+// orthogonal copies of engine e with the given per-node radio budget.
+func NewMultiSlotStateEngine(e Engine, channels, numRadios int) *MultiSlotState {
+	s := new(MultiSlotState)
+	s.InitEngine(e, channels, numRadios)
+	return s
+}
+
 // Init (re-)binds s to cs as an empty slot, mirroring SlotState.Init so
 // callers can slab-allocate multi-channel slots too.
 func (s *MultiSlotState) Init(cs *ChannelSet, numRadios int) {
+	s.InitEngine(cs.base, cs.num, numRadios)
+}
+
+// InitEngine (re-)binds s to channels orthogonal copies of engine e as an
+// empty slot. Interference accumulates within each channel only; the
+// per-node radio budget caps how many channels a node may be active on.
+func (s *MultiSlotState) InitEngine(e Engine, channels, numRadios int) {
 	if numRadios <= 0 {
 		numRadios = 1
 	}
-	if s.cs != nil {
+	if s.base != nil {
 		*s = MultiSlotState{}
 	}
-	s.cs = cs
+	s.base = e
+	s.num = channels
 	s.numRadios = numRadios
-	s.states = make([]SlotState, cs.num)
+	s.states = make([]SlotState, channels)
 	for i := range s.states {
-		s.states[i].Init(cs.base)
+		s.states[i].InitEngine(e)
 	}
-	s.radios = make([]int32, cs.base.NumNodes())
+	s.radios = make([]int32, e.NumNodes())
 	s.marked = -1
 }
 

@@ -3,11 +3,19 @@ package phys
 // SlotState is the incremental SINR feasibility engine: it maintains, for
 // one slot under construction, the running data-sub-slot and ACK-sub-slot
 // interference sums of every admitted link plus an endpoint-occupancy count
-// per node, over the channel's cached RX-power matrix. CanAdd, Add and
-// Remove are all O(k) for a slot holding k links, against the O(k^2) of
-// re-running Channel.FeasibleSet (and O(k^2) per handshake evaluation via
+// per node, over an interference Engine. CanAdd, Add and Remove are all O(k)
+// for a slot holding k links, against the O(k^2) of re-running
+// Channel.FeasibleSet (and O(k^2) per handshake evaluation via
 // Channel.HandshakeOutcome) from scratch; those naive routines remain the
 // reference implementations the property tests compare against.
+//
+// Two code paths serve the two engine families. When the engine is the
+// dense *Channel, every loop reads the channel's flat cached RX-power matrix
+// directly (the rx field) — the original hot path, preserved byte-for-byte
+// for both determinism and the benchmark gate. Any other Engine goes through
+// the interface: SignalMW for the favorable side of each inequality,
+// InterfMW for interference terms, so a conservative engine (one that
+// over-estimates InterfMW) only ever rejects more than the dense path.
 //
 // The sums are accumulated incrementally (in admission order) rather than
 // recomputed per query (in index order), so individual float64 sums may
@@ -17,9 +25,12 @@ package phys
 //
 // A SlotState is not safe for concurrent use.
 type SlotState struct {
-	c  *Channel
-	rx []float64 // the channel's flat n*n RX-power matrix
-	n  int
+	eng Engine
+	rx  []float64 // dense fast path: the channel's flat n*n RX matrix; nil for non-dense engines
+	n   int
+
+	beta  float64
+	noise float64
 
 	links   []Link
 	dataSum []float64 // dataSum[i]: interference at links[i].To from the other data senders
@@ -69,29 +80,60 @@ func NewSlotStateDataOnly(c *Channel) *SlotState {
 	return s
 }
 
+// NewSlotStateEngine returns an empty slot bound to engine e. A dense
+// *Channel passed here takes the same matrix fast path as NewSlotState.
+func NewSlotStateEngine(e Engine) *SlotState {
+	s := new(SlotState)
+	s.InitEngine(e)
+	return s
+}
+
 // Init (re-)binds s to channel c as an empty slot. It exists so callers that
 // build many slots (greedy schedulers construct one per schedule slot) can
 // hold them in a flat []SlotState without a heap allocation per slot.
 func (s *SlotState) Init(c *Channel) {
-	if s.c != nil {
-		// Re-initialization: clear everything a previous life may have
-		// dirtied. Fresh (zero-value) states — e.g. slab-allocated slots in
-		// the greedy schedulers — skip this full-struct write.
-		*s = SlotState{}
-	}
-	s.c = c
+	s.initCommon(c)
 	s.rx = c.rxMatrix()
-	s.n = c.NumNodes()
-	s.marked = -1
-	s.links = s.linksBuf[:0]
-	s.dataSum = s.dataBuf[:0]
-	s.ackSum = s.ackBuf[:0]
 }
 
 // InitDataOnly is Init with the ACK sub-slot inequality disabled.
 func (s *SlotState) InitDataOnly(c *Channel) {
 	s.Init(c)
 	s.ignoreAck = true
+}
+
+// InitEngine (re-)binds s to engine e as an empty slot. When e is the dense
+// *Channel the matrix fast path is selected automatically.
+func (s *SlotState) InitEngine(e Engine) {
+	if c, ok := e.(*Channel); ok {
+		s.Init(c)
+		return
+	}
+	s.initCommon(e)
+}
+
+// InitEngineDataOnly is InitEngine with the ACK sub-slot inequality
+// disabled.
+func (s *SlotState) InitEngineDataOnly(e Engine) {
+	s.InitEngine(e)
+	s.ignoreAck = true
+}
+
+func (s *SlotState) initCommon(e Engine) {
+	if s.eng != nil {
+		// Re-initialization: clear everything a previous life may have
+		// dirtied. Fresh (zero-value) states — e.g. slab-allocated slots in
+		// the greedy schedulers — skip this full-struct write.
+		*s = SlotState{}
+	}
+	s.eng = e
+	s.n = e.NumNodes()
+	s.beta = e.Beta()
+	s.noise = e.NoiseMW()
+	s.marked = -1
+	s.links = s.linksBuf[:0]
+	s.dataSum = s.dataBuf[:0]
+	s.ackSum = s.ackBuf[:0]
 }
 
 // Len returns the number of links currently in the slot.
@@ -109,7 +151,8 @@ func (s *SlotState) Links() []Link {
 // an endpoint with any admitted link, l itself must clear both SINR
 // inequalities against the current slot, and every admitted link must
 // survive l's added data and ACK interference. For a feasible current slot
-// this is exactly FeasibleSet(Links() + l). O(k).
+// this is exactly FeasibleSet(Links() + l) on the dense engine, and a
+// conservative under-approximation of it on an over-estimating engine. O(k).
 func (s *SlotState) CanAdd(l Link) bool {
 	if m := slotMetrics.Load(); m != nil {
 		m.canAdd.Inc()
@@ -117,31 +160,57 @@ func (s *SlotState) CanAdd(l Link) bool {
 	if l.From == l.To {
 		return false
 	}
-	rx, n := s.rx, s.n
-	beta, noise := s.c.beta, s.c.noiseMW
-	// The new link's own inequalities (and primary conflicts), first: on
-	// the dominant path — a greedy scheduler probing successive full slots
-	// — this rejects after 2 loads per admitted link.
+	beta, noise := s.beta, s.noise
+	if rx := s.rx; rx != nil {
+		n := s.n
+		// The new link's own inequalities (and primary conflicts), first: on
+		// the dominant path — a greedy scheduler probing successive full slots
+		// — this rejects after 2 loads per admitted link.
+		dataInterf, ackInterf := 0.0, 0.0
+		for _, m := range s.links {
+			if l.From == m.From || l.From == m.To || l.To == m.From || l.To == m.To {
+				return false
+			}
+			dataInterf += rx[m.From*n+l.To]
+			ackInterf += rx[m.To*n+l.From]
+		}
+		if rx[l.From*n+l.To] < beta*(noise+dataInterf) {
+			return false
+		}
+		if !s.ignoreAck && rx[l.To*n+l.From] < beta*(noise+ackInterf) {
+			return false
+		}
+		// Existing links under the extra interference from l.
+		for i, m := range s.links {
+			if rx[m.From*n+m.To] < beta*(noise+s.dataSum[i]+rx[l.From*n+m.To]) {
+				return false
+			}
+			if !s.ignoreAck && rx[m.To*n+m.From] < beta*(noise+s.ackSum[i]+rx[l.To*n+m.From]) {
+				return false
+			}
+		}
+		return true
+	}
+	eng := s.eng
 	dataInterf, ackInterf := 0.0, 0.0
 	for _, m := range s.links {
 		if l.From == m.From || l.From == m.To || l.To == m.From || l.To == m.To {
 			return false
 		}
-		dataInterf += rx[m.From*n+l.To]
-		ackInterf += rx[m.To*n+l.From]
+		dataInterf += eng.InterfMW(m.From, l.To)
+		ackInterf += eng.InterfMW(m.To, l.From)
 	}
-	if rx[l.From*n+l.To] < beta*(noise+dataInterf) {
+	if eng.SignalMW(l.From, l.To) < beta*(noise+dataInterf) {
 		return false
 	}
-	if !s.ignoreAck && rx[l.To*n+l.From] < beta*(noise+ackInterf) {
+	if !s.ignoreAck && eng.SignalMW(l.To, l.From) < beta*(noise+ackInterf) {
 		return false
 	}
-	// Existing links under the extra interference from l.
 	for i, m := range s.links {
-		if rx[m.From*n+m.To] < beta*(noise+s.dataSum[i]+rx[l.From*n+m.To]) {
+		if eng.SignalMW(m.From, m.To) < beta*(noise+s.dataSum[i]+eng.InterfMW(l.From, m.To)) {
 			return false
 		}
-		if !s.ignoreAck && rx[m.To*n+m.From] < beta*(noise+s.ackSum[i]+rx[l.To*n+m.From]) {
+		if !s.ignoreAck && eng.SignalMW(m.To, m.From) < beta*(noise+s.ackSum[i]+eng.InterfMW(l.To, m.From)) {
 			return false
 		}
 	}
@@ -156,13 +225,23 @@ func (s *SlotState) Add(l Link) {
 	if m := slotMetrics.Load(); m != nil {
 		m.adds.Inc()
 	}
-	rx, n := s.rx, s.n
 	dataInterf, ackInterf := 0.0, 0.0
-	for i, m := range s.links {
-		s.dataSum[i] += rx[l.From*n+m.To]
-		s.ackSum[i] += rx[l.To*n+m.From]
-		dataInterf += rx[m.From*n+l.To]
-		ackInterf += rx[m.To*n+l.From]
+	if rx := s.rx; rx != nil {
+		n := s.n
+		for i, m := range s.links {
+			s.dataSum[i] += rx[l.From*n+m.To]
+			s.ackSum[i] += rx[l.To*n+m.From]
+			dataInterf += rx[m.From*n+l.To]
+			ackInterf += rx[m.To*n+l.From]
+		}
+	} else {
+		eng := s.eng
+		for i, m := range s.links {
+			s.dataSum[i] += eng.InterfMW(l.From, m.To)
+			s.ackSum[i] += eng.InterfMW(l.To, m.From)
+			dataInterf += eng.InterfMW(m.From, l.To)
+			ackInterf += eng.InterfMW(m.To, l.From)
+		}
 	}
 	s.links = append(s.links, l)
 	s.dataSum = append(s.dataSum, dataInterf)
@@ -194,10 +273,18 @@ func (s *SlotState) removeAt(idx int) {
 	s.links = append(s.links[:idx], s.links[idx+1:]...)
 	s.dataSum = append(s.dataSum[:idx], s.dataSum[idx+1:]...)
 	s.ackSum = append(s.ackSum[:idx], s.ackSum[idx+1:]...)
-	rx, n := s.rx, s.n
-	for i, m := range s.links {
-		s.dataSum[i] -= rx[l.From*n+m.To]
-		s.ackSum[i] -= rx[l.To*n+m.From]
+	if rx := s.rx; rx != nil {
+		n := s.n
+		for i, m := range s.links {
+			s.dataSum[i] -= rx[l.From*n+m.To]
+			s.ackSum[i] -= rx[l.To*n+m.From]
+		}
+	} else {
+		eng := s.eng
+		for i, m := range s.links {
+			s.dataSum[i] -= eng.InterfMW(l.From, m.To)
+			s.ackSum[i] -= eng.InterfMW(l.To, m.From)
+		}
 	}
 	if s.busy != nil {
 		s.busy[l.From]--
@@ -273,8 +360,7 @@ func (s *SlotState) Outcomes() []bool {
 	out := s.out[:k]
 	dataOK := s.dataOK[:k]
 	s.failed = s.failed[:0]
-	rx, n := s.rx, s.n
-	beta, noise := s.c.beta, s.c.noiseMW
+	beta, noise := s.beta, s.noise
 	if s.busy == nil {
 		s.busy = make([]int32, s.n)
 		for _, l := range s.links {
@@ -283,23 +369,51 @@ func (s *SlotState) Outcomes() []bool {
 		}
 	}
 
-	// Data sub-slot. A primary-conflicted link never completes its
-	// handshake (but its sender still radiates, which the running sums
-	// already account for).
+	if rx := s.rx; rx != nil {
+		n := s.n
+		// Data sub-slot. A primary-conflicted link never completes its
+		// handshake (but its sender still radiates, which the running sums
+		// already account for).
+		for i, l := range s.links {
+			if s.busy[l.From] > 1 || s.busy[l.To] > 1 {
+				dataOK[i] = false
+				s.failed = append(s.failed, i)
+				continue
+			}
+			dataOK[i] = rx[l.From*n+l.To] >= beta*(noise+s.dataSum[i])
+			if !dataOK[i] {
+				s.failed = append(s.failed, i)
+			}
+		}
+
+		// ACK sub-slot: links whose data was not decoded stay silent, so their
+		// contribution is deducted from the running all-receivers sums.
+		for i, l := range s.links {
+			if !dataOK[i] {
+				out[i] = false
+				continue
+			}
+			ackInterf := s.ackSum[i]
+			for _, j := range s.failed {
+				ackInterf -= rx[s.links[j].To*n+l.From]
+			}
+			out[i] = rx[l.To*n+l.From] >= beta*(noise+ackInterf)
+		}
+		return out
+	}
+
+	eng := s.eng
 	for i, l := range s.links {
 		if s.busy[l.From] > 1 || s.busy[l.To] > 1 {
 			dataOK[i] = false
 			s.failed = append(s.failed, i)
 			continue
 		}
-		dataOK[i] = rx[l.From*n+l.To] >= beta*(noise+s.dataSum[i])
+		dataOK[i] = eng.SignalMW(l.From, l.To) >= beta*(noise+s.dataSum[i])
 		if !dataOK[i] {
 			s.failed = append(s.failed, i)
 		}
 	}
-
-	// ACK sub-slot: links whose data was not decoded stay silent, so their
-	// contribution is deducted from the running all-receivers sums.
 	for i, l := range s.links {
 		if !dataOK[i] {
 			out[i] = false
@@ -307,9 +421,9 @@ func (s *SlotState) Outcomes() []bool {
 		}
 		ackInterf := s.ackSum[i]
 		for _, j := range s.failed {
-			ackInterf -= rx[s.links[j].To*n+l.From]
+			ackInterf -= eng.InterfMW(s.links[j].To, l.From)
 		}
-		out[i] = rx[l.To*n+l.From] >= beta*(noise+ackInterf)
+		out[i] = eng.SignalMW(l.To, l.From) >= beta*(noise+ackInterf)
 	}
 	return out
 }

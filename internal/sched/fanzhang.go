@@ -26,7 +26,7 @@ import (
 // within [2^-(k+1), 2^-k) of the strongest scheduled link's. Class 0 is the
 // shortest class; higher classes are longer, more interference-fragile
 // links.
-func LengthClasses(ch *phys.Channel, links []phys.Link) []int {
+func LengthClasses(ch phys.Engine, links []phys.Link) []int {
 	if len(links) == 0 {
 		return nil
 	}
@@ -57,7 +57,7 @@ func LengthClasses(ch *phys.Channel, links []phys.Link) []int {
 // Within a class, links go in ascending link-index order — the stable tie
 // rule the determinism suite pins. The returned schedule always satisfies
 // Verify against the same inputs.
-func ApproxFanZhang(ch *phys.Channel, links []phys.Link, demands []int) (*Schedule, error) {
+func ApproxFanZhang(ch phys.Engine, links []phys.Link, demands []int) (*Schedule, error) {
 	if len(links) != len(demands) {
 		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
 	}

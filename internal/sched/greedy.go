@@ -41,7 +41,7 @@ func (o Ordering) String() string {
 }
 
 // orderEdges returns the indices of links in scheduling order.
-func orderEdges(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering) []int {
+func orderEdges(ch phys.Engine, links []phys.Link, demands []int, ord Ordering) []int {
 	idx := make([]int, len(links))
 	for i := range idx {
 		idx[i] = i
@@ -77,7 +77,7 @@ func orderEdges(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering
 // order; each edge is placed into the first demands[i] slots in which adding
 // it keeps the slot feasible, appending new slots when needed. The returned
 // schedule always satisfies Verify against the same inputs.
-func GreedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
+func GreedyPhysical(ch phys.Engine, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
 	return greedyPhysical(ch, links, demands, ord, false)
 }
 
@@ -85,25 +85,36 @@ func GreedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Orde
 // disabled (ablation: the original Gupta-Kumar physical model without the
 // paper's link-layer-reliability extension). Its schedules may fail Verify
 // under the full model; CountInfeasibleSlots quantifies by how much.
-func GreedyPhysicalDataOnly(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
+func GreedyPhysicalDataOnly(ch phys.Engine, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
 	return greedyPhysical(ch, links, demands, ord, true)
 }
 
-func greedyPhysical(ch *phys.Channel, links []phys.Link, demands []int, ord Ordering, dataOnly bool) (*Schedule, error) {
+func greedyPhysical(ch phys.Engine, links []phys.Link, demands []int, ord Ordering, dataOnly bool) (*Schedule, error) {
 	if len(links) != len(demands) {
 		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
 	}
 	return greedyPhysicalOrdered(ch, links, demands, orderEdges(ch, links, demands, ord), dataOnly)
 }
 
+// singletonFeasible reports whether l alone can occupy a slot: both the
+// data and the ACK transmission must clear beta against noise with no
+// interference. This is exactly Channel.FeasibleSet on a one-link set
+// (self-loops fail through their zero self-gain), phrased over the Engine
+// interface so any engine can answer it — and since SignalMW is exact on
+// every engine, all engines agree on it.
+func singletonFeasible(ch phys.Engine, l phys.Link) bool {
+	floor := ch.Beta() * ch.NoiseMW()
+	return ch.SignalMW(l.From, l.To) >= floor && ch.SignalMW(l.To, l.From) >= floor
+}
+
 // greedyPhysicalOrdered runs the first-fit greedy admission pass over the
 // links named by order (indices into links/demands), in that order. Links
 // absent from order are ignored — the Fan-Zhang class scheduler exploits
 // this to run the engine on one length class at a time.
-func greedyPhysicalOrdered(ch *phys.Channel, links []phys.Link, demands []int, order []int, dataOnly bool) (*Schedule, error) {
+func greedyPhysicalOrdered(ch phys.Engine, links []phys.Link, demands []int, order []int, dataOnly bool) (*Schedule, error) {
 	for _, ei := range order {
 		l := links[ei]
-		if !ch.FeasibleSet([]phys.Link{l}) {
+		if !singletonFeasible(ch, l) {
 			return nil, fmt.Errorf("sched: link %v alone is infeasible; no schedule exists", l)
 		}
 		if demands[ei] < 0 {
@@ -129,9 +140,9 @@ func greedyPhysicalOrdered(ch *phys.Channel, links []phys.Link, demands []int, o
 				}
 				st := &slabs[len(slabs)-1][slot%slabSize]
 				if dataOnly {
-					st.InitDataOnly(ch)
+					st.InitEngineDataOnly(ch)
 				} else {
-					st.Init(ch)
+					st.InitEngine(ch)
 				}
 				slots = append(slots, st)
 			}
@@ -164,20 +175,30 @@ func greedyPhysicalOrdered(ch *phys.Channel, links []phys.Link, demands []int, o
 // schedule. The returned schedule always satisfies VerifyMulti against the
 // same inputs.
 func GreedyPhysicalMulti(cs *phys.ChannelSet, numRadios int, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
+	return GreedyPhysicalMultiEngine(cs.Base(), cs.NumChannels(), numRadios, links, demands, ord)
+}
+
+// GreedyPhysicalMultiEngine is GreedyPhysicalMulti over any interference
+// engine: channels orthogonal copies of eng, numRadios radios per node.
+// GreedyPhysicalMulti delegates here with the dense channel.
+func GreedyPhysicalMultiEngine(eng phys.Engine, channels, numRadios int, links []phys.Link, demands []int, ord Ordering) (*Schedule, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("sched: channel count must be positive, got %d", channels)
+	}
 	if numRadios <= 0 {
 		numRadios = 1
 	}
-	if cs.NumChannels() == 1 && numRadios == 1 {
+	if channels == 1 && numRadios == 1 {
 		// The single-channel fast path: the slab-allocated SlotState engine,
 		// bit-identical to the schedules shipped before multi-channel
 		// support existed.
-		return greedyPhysical(cs.Base(), links, demands, ord, false)
+		return greedyPhysical(eng, links, demands, ord, false)
 	}
 	if len(links) != len(demands) {
 		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
 	}
 	for i, l := range links {
-		if !cs.Base().FeasibleSet([]phys.Link{l}) {
+		if !singletonFeasible(eng, l) {
 			return nil, fmt.Errorf("sched: link %v alone is infeasible; no schedule exists", l)
 		}
 		if demands[i] < 0 {
@@ -185,14 +206,14 @@ func GreedyPhysicalMulti(cs *phys.ChannelSet, numRadios int, links []phys.Link, 
 		}
 	}
 	var slots []*phys.MultiSlotState
-	for _, ei := range orderEdges(cs.Base(), links, demands, ord) {
+	for _, ei := range orderEdges(eng, links, demands, ord) {
 		l := links[ei]
 		remaining := demands[ei]
 		for slot := 0; remaining > 0; slot++ {
 			if slot == len(slots) {
-				slots = append(slots, phys.NewMultiSlotState(cs, numRadios))
+				slots = append(slots, phys.NewMultiSlotStateEngine(eng, channels, numRadios))
 			}
-			for ch := 0; ch < cs.NumChannels() && remaining > 0; ch++ {
+			for ch := 0; ch < channels && remaining > 0; ch++ {
 				if slots[slot].CanAdd(l, ch) {
 					slots[slot].Add(l, ch)
 					remaining--

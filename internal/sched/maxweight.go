@@ -20,9 +20,10 @@ import (
 // the Shannon spectral efficiency log2(1 + SNR) of the link in isolation.
 // The flow layer's slots carry one packet regardless of SNR, so the proxy
 // acts purely as a quality prior — at equal backlog, links with more SINR
-// headroom (which pack better into slots) are served first.
-func LinkRate(ch *phys.Channel, l phys.Link) float64 {
-	return math.Log2(1 + ch.SNR(l.From, l.To))
+// headroom (which pack better into slots) are served first. SNR comes off
+// the engine's exact signal query, so every engine agrees on it.
+func LinkRate(ch phys.Engine, l phys.Link) float64 {
+	return math.Log2(1 + ch.SignalMW(l.From, l.To)/ch.NoiseMW())
 }
 
 // MaxWeightOrder returns the indices of links in decreasing
@@ -30,7 +31,7 @@ func LinkRate(ch *phys.Channel, l phys.Link) float64 {
 // stable, topology-independent tie rule, so schedules are byte-identical
 // across runs and worker counts (the determinism discipline of the
 // experiment engine; see TestMaxWeightOrderTieBreak).
-func MaxWeightOrder(ch *phys.Channel, links []phys.Link, demands []int) []int {
+func MaxWeightOrder(ch phys.Engine, links []phys.Link, demands []int) []int {
 	w := make([]float64, len(links))
 	for i, l := range links {
 		w[i] = float64(demands[i]) * LinkRate(ch, l)
@@ -52,7 +53,7 @@ func MaxWeightOrder(ch *phys.Channel, links []phys.Link, demands []int) []int {
 // admission engine as GreedyPhysical, but ordered by MaxWeightOrder: the
 // heaviest backlog×rate links claim the early slots. The returned schedule
 // always satisfies Verify against the same inputs.
-func GreedyMaxWeight(ch *phys.Channel, links []phys.Link, demands []int) (*Schedule, error) {
+func GreedyMaxWeight(ch phys.Engine, links []phys.Link, demands []int) (*Schedule, error) {
 	if len(links) != len(demands) {
 		return nil, fmt.Errorf("sched: %d links vs %d demands", len(links), len(demands))
 	}

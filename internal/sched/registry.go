@@ -12,8 +12,9 @@ type Backend struct {
 	// Doc is a one-line description for registry listings (the flow-level
 	// scheduler registry and the public scream.Schedulers API re-export it).
 	Doc string
-	// Build computes a feasible schedule for the instance.
-	Build func(ch *phys.Channel, links []phys.Link, demands []int) (*Schedule, error)
+	// Build computes a feasible schedule for the instance over any
+	// interference engine (the dense channel or the spatial index).
+	Build func(ch phys.Engine, links []phys.Link, demands []int) (*Schedule, error)
 }
 
 // Backends returns the registered scheduler family, in reporting order: the
@@ -22,8 +23,8 @@ type Backend struct {
 // Adding a scheduler here automatically enrolls it in the gap harness and
 // its pinned worst-case tests.
 func Backends() []Backend {
-	ordered := func(ord Ordering) func(*phys.Channel, []phys.Link, []int) (*Schedule, error) {
-		return func(ch *phys.Channel, links []phys.Link, demands []int) (*Schedule, error) {
+	ordered := func(ord Ordering) func(phys.Engine, []phys.Link, []int) (*Schedule, error) {
+		return func(ch phys.Engine, links []phys.Link, demands []int) (*Schedule, error) {
 			return GreedyPhysical(ch, links, demands, ord)
 		}
 	}

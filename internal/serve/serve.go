@@ -171,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/version", s.handleVersion)
 	mux.HandleFunc("/api/v1/schedulers", s.handleSchedulers)
+	mux.HandleFunc("/api/v1/engines", s.handleEngines)
 	mux.HandleFunc("/api/v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("/api/v1/sessions", s.handleSessions)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.handleSessionTrace)
@@ -271,6 +272,12 @@ func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 // handleSchedulers serves the public scheduler registry.
 func (s *Server) handleSchedulers(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, scream.Schedulers())
+}
+
+// handleEngines serves the public interference-engine registry — the same
+// table ScenarioSpec.Interference and flowsim -engine resolve against.
+func (s *Server) handleEngines(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, scream.Engines())
 }
 
 // handleScenarios lists the preloaded scenarios with their full specs.

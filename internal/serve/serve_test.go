@@ -126,6 +126,15 @@ func TestEndpoints(t *testing.T) {
 		t.Errorf("schedulers: %d entries, want %d", len(infos), len(scream.Schedulers()))
 	}
 
+	_, body = get("/api/v1/engines")
+	var engines []scream.EngineInfo
+	if err := json.Unmarshal([]byte(body), &engines); err != nil {
+		t.Fatalf("engines: %v", err)
+	}
+	if len(engines) != len(scream.Engines()) || engines[0].Name != scream.EngineDense {
+		t.Errorf("engines: %+v", engines)
+	}
+
 	_, body = get("/api/v1/scenarios")
 	var specs []scream.ScenarioSpec
 	if err := json.Unmarshal([]byte(body), &specs); err != nil {

@@ -1,0 +1,53 @@
+package topo
+
+import (
+	"fmt"
+
+	"scream/internal/geom"
+	"scream/internal/phys/spatial"
+)
+
+// SpatialEngine builds the grid-bucket spatial interference engine over the
+// network's current positions, powers and radio states. cutoffM and bucketM
+// are the index geometry (0 picks the defaults documented on
+// spatial.Config). Nodes that are currently down start out silenced in the
+// index, mirroring the channel's zeroed gain rows.
+//
+// Shadowed deployments are rejected: per-pair shadowing has no spatial
+// structure the bucket bound could cap, so only the dense engine models it.
+//
+// The returned index is an independent structure: topology dynamics applied
+// to the network do not reach it. dynam.World.AttachSpatial keeps one in
+// lockstep with the event timeline.
+func (n *Network) SpatialEngine(cutoffM, bucketM float64) (*spatial.Index, error) {
+	if n.shadowDB != nil {
+		return nil, fmt.Errorf("topo: spatial engine does not support shadowing; use the dense engine")
+	}
+	pos := make([]geom.Point, len(n.Nodes))
+	pw := make([]float64, len(n.Nodes))
+	for i, nd := range n.Nodes {
+		pos[i] = nd.Pos
+		pw[i] = nd.TxPowerMW
+	}
+	idx, err := spatial.New(spatial.Config{
+		Pos:       pos,
+		TxPowerMW: pw,
+		PathLoss:  n.Params.PathLoss,
+		NoiseMW:   n.Params.NoiseMW,
+		Beta:      n.Params.Beta,
+		Region:    n.Region,
+		CutoffM:   cutoffM,
+		BucketM:   bucketM,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for u := range n.Nodes {
+		if n.IsDown(u) {
+			if err := idx.RemoveNode(u); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return idx, nil
+}

@@ -128,6 +128,11 @@ type Mesh struct {
 
 	gateways []int
 	radios   int
+	// interf is the selected interference engine configuration (zero value =
+	// the exact dense engine). Engines are built on demand from the network's
+	// current state — never cached — so topology dynamics and clones always
+	// see fresh geometry.
+	interf InterferenceSpec
 }
 
 // NewGridMesh builds a planned grid mesh per the paper's Section VI setup.
@@ -252,7 +257,49 @@ func (m *Mesh) Clone() *Mesh {
 		Demands:  append([]int(nil), m.Demands...),
 		gateways: append([]int(nil), m.gateways...),
 		radios:   m.radios,
+		interf:   m.interf,
 	}
+}
+
+// UseEngine selects the interference engine the mesh's centralized
+// schedulers build against (see Engines for the registry). The zero-value
+// spec — or one naming "dense" — keeps the exact dense engine, the default.
+// Selecting the spatial engine builds it once to surface configuration
+// errors (shadowed deployments, invalid geometry) immediately; afterwards
+// every schedule build constructs a fresh index from the network's current
+// positions, so dynamics and clones never see stale geometry.
+func (m *Mesh) UseEngine(spec InterferenceSpec) error {
+	if _, err := EngineByName(spec.engineName()); err != nil {
+		return err
+	}
+	if spec.CutoffM < 0 || spec.BucketM < 0 {
+		return fmt.Errorf("scream: interference cutoff_m and bucket_m must be non-negative")
+	}
+	if spec.engineName() == EngineSpatial {
+		if _, err := m.Network.SpatialEngine(spec.CutoffM, spec.BucketM); err != nil {
+			return fmt.Errorf("scream: %w", err)
+		}
+	}
+	m.interf = spec
+	return nil
+}
+
+// EngineName returns the registry name of the mesh's selected interference
+// engine ("dense" unless UseEngine chose otherwise).
+func (m *Mesh) EngineName() string { return m.interf.engineName() }
+
+// engine builds the mesh's selected interference engine over the network's
+// current state: the dense channel itself, or a freshly constructed spatial
+// index.
+func (m *Mesh) engine() (phys.Engine, error) {
+	if m.interf.engineName() != EngineSpatial {
+		return m.Network.Channel, nil
+	}
+	idx, err := m.Network.SpatialEngine(m.interf.CutoffM, m.interf.BucketM)
+	if err != nil {
+		return nil, fmt.Errorf("scream: %w", err)
+	}
+	return idx, nil
 }
 
 // NumNodes returns the number of mesh routers.
@@ -284,15 +331,27 @@ func (m *Mesh) ChannelSet(channels int) (*ChannelSet, error) {
 	return cs, nil
 }
 
-// GreedySchedule runs the centralized GreedyPhysical baseline.
+// GreedySchedule runs the centralized GreedyPhysical baseline over the
+// mesh's selected interference engine (see UseEngine; dense by default).
 func (m *Mesh) GreedySchedule(ord Ordering) (*Schedule, error) {
-	return sched.GreedyPhysical(m.Network.Channel, m.Links, m.Demands, ord)
+	eng, err := m.engine()
+	if err != nil {
+		return nil, err
+	}
+	return sched.GreedyPhysical(eng, m.Links, m.Demands, ord)
 }
 
 // GreedyScheduleChannels runs the multi-channel centralized greedy over the
 // given number of orthogonal channels with the mesh's per-node radio count.
 // With channels == 1 (and one radio) it is exactly GreedySchedule.
 func (m *Mesh) GreedyScheduleChannels(channels int, ord Ordering) (*Schedule, error) {
+	if m.interf.engineName() == EngineSpatial {
+		eng, err := m.engine()
+		if err != nil {
+			return nil, err
+		}
+		return sched.GreedyPhysicalMultiEngine(eng, channels, m.radios, m.Links, m.Demands, ord)
+	}
 	cs, err := m.ChannelSet(channels)
 	if err != nil {
 		return nil, err
@@ -355,7 +414,11 @@ func (m *Mesh) OptimalLength() (int, error) {
 // forests (the paper notes the protocols schedule arbitrary link sets "up
 // to straightforward modifications").
 func (m *Mesh) GreedyScheduleFor(links []Link, demands []int, ord Ordering) (*Schedule, error) {
-	return sched.GreedyPhysical(m.Network.Channel, links, demands, ord)
+	eng, err := m.engine()
+	if err != nil {
+		return nil, err
+	}
+	return sched.GreedyPhysical(eng, links, demands, ord)
 }
 
 // LocalizedGreedyFor runs the k-hop-localized greedy of the Theorem 1

@@ -143,6 +143,31 @@ type DynamicsSpec struct {
 	MoveIntervalSec float64 `json:"move_interval_sec,omitempty"`
 }
 
+// InterferenceSpec selects the interference engine the centralized
+// schedulers build against. Omitting the block (or the engine name) keeps the
+// exact dense engine, so existing scenarios run bit-identically.
+type InterferenceSpec struct {
+	// Engine is a registry name from Engines(): "dense" (exact n x n
+	// RX-power matrix, the default) or "spatial" (grid-bucket index — exact
+	// near-field, conservative far-field bound, O(n) memory).
+	Engine string `json:"engine,omitempty"`
+	// CutoffM is the spatial engine's exact-evaluation radius in meters
+	// (0 derives it from the strongest transmitter: the distance at which
+	// its received power falls to a tenth of the noise floor).
+	CutoffM float64 `json:"cutoff_m,omitempty"`
+	// BucketM is the spatial engine's grid bucket edge in meters (0 =
+	// half the cutoff).
+	BucketM float64 `json:"bucket_m,omitempty"`
+}
+
+// engineName returns the effective engine registry name ("" = dense).
+func (i InterferenceSpec) engineName() string {
+	if i.Engine == "" {
+		return EngineDense
+	}
+	return i.Engine
+}
+
 // ScenarioSpec is a complete, serializable flow-simulation scenario: the JSON
 // document screamd accepts on /api/v1/run and flowsim loads with -scenario.
 // The zero values of the run knobs keep FlowOptions' defaults (FramesPerEpoch
@@ -171,6 +196,9 @@ type ScenarioSpec struct {
 	// single-channel).
 	Channels int           `json:"channels,omitempty"`
 	Dynamics *DynamicsSpec `json:"dynamics,omitempty"`
+	// Interference selects the interference engine (nil = the exact dense
+	// engine).
+	Interference *InterferenceSpec `json:"interference,omitempty"`
 }
 
 // scenarioSpecJSON is the method-free shadow of ScenarioSpec used by the
@@ -225,7 +253,7 @@ func LoadScenario(path string) (ScenarioSpec, error) {
 }
 
 // Clone returns a deep copy: mutating the copy (its gateway list, radio,
-// dynamics) never affects the original. Specs cross the daemon's session
+// dynamics, interference block) never affects the original. Specs cross the daemon's session
 // boundary through this.
 func (s ScenarioSpec) Clone() ScenarioSpec {
 	c := s
@@ -241,6 +269,10 @@ func (s ScenarioSpec) Clone() ScenarioSpec {
 	if s.Dynamics != nil {
 		d := *s.Dynamics
 		c.Dynamics = &d
+	}
+	if s.Interference != nil {
+		i := *s.Interference
+		c.Interference = &i
 	}
 	return c
 }
@@ -313,7 +345,41 @@ func (s ScenarioSpec) Validate() error {
 			return err
 		}
 	}
+	if s.Interference != nil {
+		i := s.Interference
+		if i.Engine != "" {
+			if _, err := EngineByName(i.Engine); err != nil {
+				return fmt.Errorf("scream: scenario: unknown interference engine %q (valid: dense, spatial)", i.Engine)
+			}
+		}
+		if i.CutoffM < 0 || i.BucketM < 0 {
+			return fmt.Errorf("scream: scenario: interference cutoff_m and bucket_m must be non-negative")
+		}
+		if i.engineName() != EngineSpatial && (i.CutoffM != 0 || i.BucketM != 0) {
+			return fmt.Errorf("scream: scenario: cutoff_m and bucket_m apply only to the spatial engine")
+		}
+		if i.engineName() == EngineSpatial {
+			if s.Topology.Radio != nil && s.Topology.Radio.ShadowSigmaDB > 0 {
+				return fmt.Errorf("scream: scenario: the spatial engine does not support shadowing; use the dense engine")
+			}
+			if def, err := flowSchedulerDistributed(name); err == nil && def {
+				return fmt.Errorf("scream: scenario: scheduler %q requires the dense interference engine", name)
+			}
+		}
+	}
 	return nil
+}
+
+// flowSchedulerDistributed reports whether the named scheduler is one of the
+// distributed protocols (which simulate real radios over the exact channel
+// and therefore reject a non-dense engine).
+func flowSchedulerDistributed(name string) (bool, error) {
+	for _, s := range Schedulers() {
+		if s.Name == name {
+			return s.Distributed, nil
+		}
+	}
+	return false, fmt.Errorf("scream: unknown scheduler %q", name)
 }
 
 // Mesh builds the scenario's deployment (topology, routing forest, demands).
@@ -326,28 +392,41 @@ func (s ScenarioSpec) Mesh() (*Mesh, error) {
 	t := s.Topology
 	radio := t.Radio.params()
 	gws := append([]int(nil), t.Gateways...)
+	var (
+		m   *Mesh
+		err error
+	)
 	switch t.Kind {
 	case "grid":
-		return NewGridMesh(GridMeshConfig{
+		m, err = NewGridMesh(GridMeshConfig{
 			Rows: t.Rows, Cols: t.Cols, StepMeters: t.StepMeters,
 			TxPowerDBm: t.TxPowerDBm, Gateways: gws,
 			DemandLo: t.DemandLo, DemandHi: t.DemandHi,
 			Radio: radio, Seed: s.Seed, BalancedRouting: t.BalancedRouting,
 		})
 	case "uniform":
-		return NewUniformMesh(UniformMeshConfig{
+		m, err = NewUniformMesh(UniformMeshConfig{
 			N: t.Nodes, SideMeters: t.SideMeters,
 			MinTxDBm: t.MinTxDBm, MaxTxDBm: t.MaxTxDBm, Gateways: gws,
 			DemandLo: t.DemandLo, DemandHi: t.DemandHi,
 			Radio: radio, Seed: s.Seed, BalancedRouting: t.BalancedRouting,
 		})
 	default: // "line" — Validate rejected everything else
-		return NewLineMesh(LineMeshConfig{
+		m, err = NewLineMesh(LineMeshConfig{
 			N: t.Nodes, StepMeters: t.StepMeters, RangeSlack: t.RangeSlack,
 			Gateways: gws, DemandLo: t.DemandLo, DemandHi: t.DemandHi,
 			Radio: radio, Seed: s.Seed,
 		})
 	}
+	if err != nil {
+		return nil, err
+	}
+	if s.Interference != nil {
+		if err := m.UseEngine(*s.Interference); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // arrivals builds the per-node arrival processes, replicating the flowsim

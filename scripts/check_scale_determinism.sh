@@ -1,0 +1,39 @@
+#!/bin/sh
+# check_scale_determinism.sh — assert the deterministic column prefix of
+# figgen -fig scale is byte-identical across two runs. The scale figure
+# deliberately mixes deterministic series (spatial slots, spatial index MB,
+# dense matrix MB — the first three) with wall-clock series (build ms,
+# ns/admission, B/admission), so unlike check_determinism.sh this compares
+# only the stable prefix: the x column plus the first three series' (y, ci)
+# column pairs — TSV fields 1-7.
+#
+# Usage: scripts/check_scale_determinism.sh [-quick]
+#
+# FIGGEN overrides the figgen invocation (default: go run ./cmd/figgen),
+# letting CI reuse a prebuilt binary instead of a cold compile.
+set -eu
+
+: "${FIGGEN:=go run ./cmd/figgen}"
+
+# The deterministic prefix: x + 3 series x (value, ci95) columns.
+FIELDS=1-7
+
+raw=$(mktemp) || exit 1
+r1=$(mktemp) || exit 1
+r2=$(mktemp) || exit 1
+trap 'rm -f "$raw" "$r1" "$r2"' EXIT
+
+# Capture before stripping so a figgen failure fails the script; drop the
+# wall-clock annotation line-by-line, then cut each TSV row to the
+# deterministic field prefix (comment/header lines pass through cut intact
+# enough to compare — they carry no timing).
+$FIGGEN -fig scale "$@" -ascii=false > "$raw"
+sed 's/generated in [^)]*/generated in X/' "$raw" | cut -f "$FIELDS" > "$r1"
+$FIGGEN -fig scale "$@" -ascii=false > "$raw"
+sed 's/generated in [^)]*/generated in X/' "$raw" | cut -f "$FIELDS" > "$r2"
+
+if ! diff -u "$r1" "$r2"; then
+    echo "scale determinism check FAILED: deterministic columns (fields $FIELDS) diverged across runs" >&2
+    exit 1
+fi
+echo "scale determinism OK (fields $FIELDS identical across two runs)"
